@@ -1,0 +1,55 @@
+"""Bench: the Section IV.B.1 epoch-size trade-off (100-1000 cycles).
+
+The paper trains a separate model per epoch size and reports that 500
+cycles balances predictor quality against the amount of training data.
+This bench retrains the DozzNoC predictor at several epoch sizes and
+reports validation RMSE / mode-selection accuracy / sample counts.
+"""
+
+import dataclasses
+
+from conftest import write_report
+
+from repro.experiments.figures import epoch_size_sweep
+from repro.experiments.report import format_table
+
+
+def test_epoch_size_sweep(benchmark, report_dir, bench_scale):
+    scale = dataclasses.replace(
+        bench_scale, duration_ns=min(bench_scale.duration_ns, 6_000.0)
+    )
+    sizes = (100, 250, 500, 1000)
+    points = benchmark.pedantic(
+        epoch_size_sweep,
+        args=(scale, sizes),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        (
+            p.epoch_cycles,
+            p.n_train_samples,
+            f"{p.validation_rmse:.4f}",
+            f"{p.validation_accuracy * 100:.1f}%",
+        )
+        for p in points
+    ]
+    text = format_table(
+        ("epoch (cycles)", "train samples", "val RMSE", "mode accuracy"),
+        rows,
+        title=(
+            "Section IV.B.1 - epoch-size trade-off (paper selects 500: "
+            "good accuracy with ample training data)"
+        ),
+    )
+    write_report(report_dir, "epoch_sweep", text)
+
+    assert [p.epoch_cycles for p in points] == list(sizes)
+    # Data volume shrinks monotonically with epoch size.
+    samples = [p.n_train_samples for p in points]
+    assert samples == sorted(samples, reverse=True)
+    # Every size trains a usable predictor.
+    for p in points:
+        assert 0.2 <= p.validation_accuracy <= 1.0
+        assert p.validation_rmse < 0.5

@@ -1,0 +1,46 @@
+"""Bench: regenerate Figure 5 (regulator transient waveforms).
+
+Synthesizes the two published waveforms — power-gating exit to 0.8 V and a
+0.8 -> 1.2 V DVFS switch — and renders them as ASCII oscillograms with the
+measured settling times.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.experiments.figures import fig5_waveforms
+
+
+def _ascii_scope(t_ns, v, width=64, height=10, v_max=1.3):
+    """Tiny ASCII renderer for a waveform."""
+    idx = np.linspace(0, len(v) - 1, width).astype(int)
+    samples = v[idx]
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = v_max * level / height
+        row = "".join("#" if s >= threshold - 1e-9 else " " for s in samples)
+        rows.append(f"{threshold:5.2f}V |{row}")
+    rows.append("       +" + "-" * width)
+    rows.append(f"        0 ns{' ' * (width - 14)}{t_ns[-1]:.1f} ns")
+    return "\n".join(rows)
+
+
+def test_fig5_waveforms(benchmark, report_dir):
+    result = benchmark.pedantic(fig5_waveforms, rounds=1, iterations=1)
+    text = (
+        "Figure 5 - SIMO/LDO transient waveforms\n\n"
+        f"(a) T-Wakeup 0V -> 0.8V: settled in {result.t_wakeup_ns:.2f} ns "
+        "(paper: 8.5 ns)\n"
+        + _ascii_scope(result.wakeup.t_ns, result.wakeup.v)
+        + "\n\n"
+        f"(b) T-Switch 0.8V -> 1.2V: settled in {result.t_switch_ns:.2f} ns "
+        "(paper: 6.9 ns)\n"
+        + _ascii_scope(result.switch.t_ns, result.switch.v)
+    )
+    write_report(report_dir, "fig5_waveforms", text)
+
+    assert abs(result.t_wakeup_ns - 8.5) < 0.1
+    assert abs(result.t_switch_ns - 6.9) < 0.2
+    # Waveform shapes: monotone rise, correct endpoints.
+    assert np.all(np.diff(result.wakeup.v) >= -1e-12)
+    assert result.switch.v[0] == 0.8

@@ -1,0 +1,47 @@
+"""Bench: regenerate Figure 6 (SIMO vs baseline power-delivery efficiency).
+
+Paper claims checked: SIMO system efficiency above 87 % at every DVFS
+level, ~15 % average improvement over the fixed-rail array at the four
+scaled levels, maximum gain of almost 25 % at 0.9 V.
+"""
+
+from conftest import write_report
+
+from repro.core.modes import VOLTAGES
+from repro.experiments.figures import fig6_efficiency
+from repro.experiments.report import format_table
+from repro.regulator.efficiency import compare_efficiency
+
+
+def test_fig6_efficiency(benchmark, report_dir):
+    sweep = benchmark.pedantic(fig6_efficiency, rounds=1, iterations=1)
+    discrete = compare_efficiency(VOLTAGES)
+
+    rows = [
+        (
+            f"{v:.1f}V",
+            f"{b * 100:.1f}%",
+            f"{s * 100:.1f}%",
+            f"{(s - b) * 100:+.1f}pp",
+        )
+        for v, b, s in zip(discrete.voltages, discrete.baseline, discrete.simo)
+    ]
+    text = format_table(
+        ("Vout", "baseline array", "SIMO design", "gain"),
+        rows,
+        title=(
+            "Figure 6 - power-delivery efficiency at the DVFS levels "
+            f"(avg gain below 1.2V: {discrete.average_improvement_low_range * 100:.1f}pp, "
+            f"max: {discrete.max_improvement * 100:.1f}pp at 0.9V)"
+        ),
+    )
+    text += (
+        f"\n\nContinuous sweep ({len(sweep.voltages)} points): "
+        f"min SIMO eff {sweep.simo.min() * 100:.1f}%, "
+        f"min baseline eff {sweep.baseline.min() * 100:.1f}%"
+    )
+    write_report(report_dir, "fig6_efficiency", text)
+
+    assert discrete.min_simo_efficiency > 0.87          # ">87 %"
+    assert abs(discrete.average_improvement_low_range - 0.15) < 0.03  # "15 %"
+    assert abs(discrete.max_improvement - 0.235) < 0.03  # "almost 25 % @0.9V"

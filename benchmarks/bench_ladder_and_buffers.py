@@ -1,0 +1,89 @@
+"""Bench: extension ablations — DVFS ladder granularity and buffer depth.
+
+Neither is a paper figure; both quantify design choices the paper argues
+qualitatively:
+
+* the SIMO regulator's value is the *multi-level* ladder (Section III.C):
+  restricting DozzNoC to fewer V/F levels erodes dynamic savings while the
+  threshold round-up keeps performance,
+* buffer depth sets the "theoretical maximum" that the Fig 3b thresholds
+  divide by, moving the mode mix.
+"""
+
+import dataclasses
+
+from conftest import write_report
+
+from repro.experiments.figures import buffer_depth_sweep, mode_ladder_ablation
+from repro.experiments.report import format_table
+
+
+def test_mode_ladder_ablation(benchmark, report_dir, bench_scale):
+    scale = dataclasses.replace(
+        bench_scale, duration_ns=min(bench_scale.duration_ns, 6_000.0)
+    )
+    points = benchmark.pedantic(
+        mode_ladder_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            p.label,
+            ",".join(f"M{m}" for m in p.allowed_modes),
+            f"{p.static_savings * 100:.1f}%",
+            f"{p.dynamic_savings * 100:.1f}%",
+            f"{p.throughput_loss * 100:.1f}%",
+        )
+        for p in points
+    ]
+    text = format_table(
+        ("ladder", "modes", "static sav", "dyn sav", "thr loss"),
+        rows,
+        title="DVFS ladder granularity (DozzNoC, one test trace)",
+    )
+    write_report(report_dir, "ladder_ablation", text)
+
+    by_label = {p.label: p for p in points}
+    five = by_label["5 modes (paper)"]
+    one = by_label["1 mode (M7)"]
+    # The full ladder's dynamic savings exceed the single-mode scheme's
+    # (which can only gate), and intermediate ladders land in between.
+    assert five.dynamic_savings > one.dynamic_savings + 0.05
+    assert (
+        five.dynamic_savings
+        >= by_label["3 modes"].dynamic_savings
+        >= one.dynamic_savings - 1e-9
+    )
+
+
+def test_buffer_depth_sweep(benchmark, report_dir, bench_scale):
+    scale = dataclasses.replace(
+        bench_scale, duration_ns=min(bench_scale.duration_ns, 6_000.0)
+    )
+    points = benchmark.pedantic(
+        buffer_depth_sweep, args=(scale,), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            p.buffer_depth,
+            f"{p.static_savings * 100:.1f}%",
+            f"{p.dynamic_savings * 100:.1f}%",
+            f"{p.throughput_loss * 100:.1f}%",
+            f"{p.avg_latency_ns:.1f}",
+        )
+        for p in points
+    ]
+    text = format_table(
+        ("depth (flits)", "static sav", "dyn sav", "thr loss", "latency ns"),
+        rows,
+        title="Input-buffer depth sweep (DozzNoC, one test trace)",
+    )
+    write_report(report_dir, "buffer_depth_sweep", text)
+
+    assert [p.buffer_depth for p in points] == [5, 8, 16, 32]
+    for p in points:
+        assert p.static_savings > 0.0
+        assert p.dynamic_savings > 0.0
+    # Deeper buffers dilute the utilization fraction: the DVFS predictor
+    # selects lower modes, so dynamic savings do not shrink with depth.
+    by_depth = {p.buffer_depth: p for p in points}
+    assert by_depth[32].dynamic_savings >= by_depth[5].dynamic_savings - 0.05

@@ -1,0 +1,31 @@
+"""Bench: raw simulator kernel performance (router-cycles per second).
+
+Not a paper experiment — this tracks the substrate's own speed so
+regressions in the hot path (the per-cycle router loop) are visible.
+Uses multiple pytest-benchmark rounds, unlike the one-shot experiment
+benches.
+"""
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.noc.simulator import run_simulation
+from repro.traffic.benchmarks import generate_benchmark_trace
+
+CONFIG = SimConfig(topology="mesh", radix=4, epoch_cycles=250,
+                   horizon_ns=1_000.0)
+TRACE = generate_benchmark_trace("bodytrack", num_cores=16,
+                                 duration_ns=900.0)
+
+
+def test_kernel_speed_baseline(benchmark):
+    result = benchmark(
+        lambda: run_simulation(CONFIG, TRACE, make_policy("baseline"))
+    )
+    assert result.stats.packets_delivered > 0
+
+
+def test_kernel_speed_dozznoc(benchmark):
+    result = benchmark(
+        lambda: run_simulation(CONFIG, TRACE, make_policy("dozznoc"))
+    )
+    assert result.stats.packets_delivered > 0

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table I (LDO dropout ranges for the SIMO rails)."""
+
+from conftest import write_report
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import table1
+
+
+def test_table1_dropout(benchmark, report_dir):
+    cmp = benchmark.pedantic(table1, rounds=1, iterations=1)
+    rows = [
+        (f"{vin:.1f}V", f"{vr[0]:.1f}V - {vr[1]:.1f}V",
+         f"{dr[0] * 1000:.0f}mV - {dr[1] * 1000:.0f}mV")
+        for vin, vr, dr in cmp.measured_rows
+    ]
+    text = format_table(
+        ("LDO Vin", "LDO Vout Range", "Dropout Range"),
+        rows,
+        title="Table I - LDO dropout ranges (paper match: exact)",
+    )
+    write_report(report_dir, "table1_dropout", text)
+    assert cmp.max_abs_error == 0.0

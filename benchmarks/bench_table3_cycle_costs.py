@@ -1,0 +1,49 @@
+"""Bench: regenerate Table III (T-Switch / T-Wakeup / T-Breakeven cycles).
+
+Shows both the costs re-derived from the behavioural regulator (worst-case
+latency x target frequency, ceiling) and the published constants the
+simulator uses.
+"""
+
+from conftest import write_report
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import (
+    PAPER_TABLE3,
+    table3,
+    table3_simulator_constants,
+)
+
+
+def test_table3_cycle_costs(benchmark, report_dir):
+    cmp = benchmark.pedantic(table3, rounds=1, iterations=1)
+    rows = []
+    for derived, paper in zip(cmp.measured_rows, PAPER_TABLE3):
+        rows.append(
+            (
+                f"{derived[0]:.1f}V",
+                f"{derived[1]:.2f}",
+                f"{derived[2]} (paper {paper[2]})",
+                f"{derived[3]} (paper {paper[3]})",
+                f"{derived[4]} (paper {paper[4]})",
+            )
+        )
+    text = format_table(
+        ("Volt", "Freq GHz", "T-Switch", "T-Wakeup", "T-Breakeven"),
+        rows,
+        title=(
+            "Table III - delay costs in cycles, derived from the regulator "
+            f"(max |err| vs paper: {cmp.max_abs_error:.0f} cycles)"
+        ),
+    )
+    write_report(report_dir, "table3_cycle_costs", text)
+
+    # The T-Switch column and the breakeven ladder reproduce exactly; the
+    # wakeup column lands within 2 cycles (the paper rounds its worst-case
+    # wakeup latency inconsistently across modes — see EXPERIMENTS.md).
+    assert [r[2] for r in cmp.measured_rows][:5] == [7, 11, 13, 14, 16]
+    assert [r[4] for r in cmp.measured_rows] == [8, 9, 10, 11, 12]
+    assert cmp.max_abs_error <= 2
+
+    # The simulator itself uses the published constants verbatim.
+    assert table3_simulator_constants() == PAPER_TABLE3

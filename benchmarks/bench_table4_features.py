@@ -1,0 +1,45 @@
+"""Bench: regenerate Table IV (the reduced five-feature set) and the
+Section III.D ML-overhead arithmetic (7.1 pJ / 0.013 mm^2 per label)."""
+
+from conftest import write_report
+
+from repro.core.features import FULL_FEATURES, REDUCED_FEATURES
+from repro.experiments.report import format_table
+from repro.experiments.tables import table4
+from repro.power.dsent import (
+    ML_LABEL_ENERGY_41FEAT_PJ,
+    ML_LABEL_ENERGY_5FEAT_PJ,
+    ML_LABEL_AREA_5FEAT_MM2,
+)
+
+
+def test_table4_feature_set(benchmark, report_dir):
+    cmp = benchmark.pedantic(table4, rounds=1, iterations=1)
+    rows = [
+        (f"Feature {i + 1}:", ours[0], paper[0])
+        for i, (ours, paper) in enumerate(
+            zip(cmp.measured_rows, cmp.paper_rows)
+        )
+    ]
+    rows.append(("Label:", "future IBU (next-epoch mean)",
+                 "Future Input Buffer Utilization"))
+    overhead = [
+        ("label energy (5 feats)", f"{ML_LABEL_ENERGY_5FEAT_PJ:.1f} pJ",
+         "7.1 pJ"),
+        ("label energy (41 feats)", f"{ML_LABEL_ENERGY_41FEAT_PJ:.1f} pJ",
+         "61.1 pJ"),
+        ("label area (5 feats)", f"{ML_LABEL_AREA_5FEAT_MM2:.3f} mm^2",
+         "0.013 mm^2"),
+    ]
+    text = (
+        format_table(("", "this repo", "paper"), rows,
+                     title="Table IV - reduced feature set")
+        + "\n\n"
+        + format_table(("overhead", "this repo", "paper"), overhead)
+    )
+    write_report(report_dir, "table4_features", text)
+
+    assert len(REDUCED_FEATURES) == 5
+    assert len(FULL_FEATURES) == 41
+    assert cmp.max_abs_error == 0.0
+    assert ML_LABEL_ENERGY_5FEAT_PJ == 5 * 1.1 + 4 * 0.4

@@ -1,0 +1,31 @@
+"""Bench: regenerate Table V (DSENT 22 nm static power / dynamic energy)."""
+
+from conftest import write_report
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import PAPER_TABLE5, table5
+
+
+def test_table5_power_model(benchmark, report_dir):
+    cmp = benchmark.pedantic(table5, rounds=1, iterations=1)
+    rows = []
+    for got, want in zip(cmp.measured_rows, PAPER_TABLE5):
+        rows.append(
+            (
+                f"{got[0]:.1f}V",
+                f"{got[1]:.2f}",
+                f"{got[2]:.4f} (paper {want[2]:.3f})",
+                f"{got[3]:.3f} (paper {want[3]:.3f})",
+                f"{got[4]:.1f} (paper {want[4]:.1f})",
+            )
+        )
+    text = format_table(
+        ("Volt", "Freq GHz", "Static J/s", "Static (cycle)", "Dyn pJ/hop"),
+        rows,
+        title=(
+            "Table V - analytic DSENT model: P_static = 45mA x V, "
+            f"E_dyn = 39.24pF x V^2 (max err: {cmp.max_abs_error:.4f})"
+        ),
+    )
+    write_report(report_dir, "table5_power_model", text)
+    assert cmp.max_abs_error < 0.01

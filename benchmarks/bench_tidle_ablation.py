@@ -1,0 +1,55 @@
+"""Bench: T-Idle ablation (the Section III.B design-choice discussion).
+
+"A small T-idle will cause congestion since traffic will be blocked due to
+router being switched-off and less power savings due to T-breakeven.  If
+T-Idle is too large, then we will not save enough power."  The paper picks
+T-Idle = 4 given T-Wakeup = 9 and T-Breakeven = 8 cycles at the lowest
+voltage level.  This bench sweeps the threshold on one test trace and shows
+both failure modes.
+"""
+
+import dataclasses
+
+from conftest import write_report
+
+from repro.experiments.figures import t_idle_sweep
+from repro.experiments.report import format_table
+
+
+def test_tidle_ablation(benchmark, report_dir, bench_scale):
+    scale = dataclasses.replace(
+        bench_scale, duration_ns=min(bench_scale.duration_ns, 6_000.0)
+    )
+    points = benchmark.pedantic(
+        t_idle_sweep, args=(scale,), rounds=1, iterations=1
+    )
+
+    rows = [
+        (
+            p.t_idle,
+            f"{p.static_savings * 100:.1f}%",
+            f"{p.dynamic_savings * 100:.1f}%",
+            f"{p.throughput_loss * 100:.1f}%",
+            f"{p.gated_fraction * 100:.1f}%",
+            int(p.wake_events),
+        )
+        for p in points
+    ]
+    text = format_table(
+        ("T-Idle", "static sav", "dyn sav", "thr loss", "gated", "wakes"),
+        rows,
+        title=(
+            "T-Idle ablation, DozzNoC on one test trace "
+            "(paper design point: T-Idle = 4)"
+        ),
+    )
+    write_report(report_dir, "tidle_ablation", text)
+
+    by_t = {p.t_idle: p for p in points}
+    # Large T-Idle forfeits gating opportunity (the paper's second failure
+    # mode): markedly less time gated than the design point.
+    assert by_t[64].gated_fraction < by_t[4].gated_fraction
+    assert by_t[64].static_savings < by_t[4].static_savings + 0.02
+    # Small T-Idle gates more eagerly -> at least as much gated time, but
+    # more wake events (break-even pressure, the first failure mode).
+    assert by_t[2].wake_events >= by_t[16].wake_events

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Compare all five Section III.B models on one benchmark (Fig 8 style).
+
+Runs Baseline, Power Punch (PG), LEAD-tau (DVFS+ML), DozzNoC
+(ML+DVFS+PG) and ML+TURBO on the same trace and prints normalized energy
+and performance, the way the paper's Figure 8 presents them.
+
+Run:  python examples/compare_models.py [benchmark] [--compressed]
+"""
+
+import sys
+
+from repro import SimConfig, make_policy, run_simulation
+from repro.experiments.report import format_distribution, format_table
+from repro.experiments.runner import (
+    MODEL_LABELS,
+    MODEL_NAMES,
+    ModelMetrics,
+    normalize_to_baseline,
+)
+from repro.traffic import compress_trace, generate_benchmark_trace
+
+DURATION_NS = 4_000.0
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "canneal"
+    compressed = "--compressed" in sys.argv
+
+    config = SimConfig.paper_mesh()
+    trace = generate_benchmark_trace(
+        benchmark, num_cores=config.num_cores, duration_ns=DURATION_NS
+    )
+    if compressed:
+        trace = compress_trace(trace)
+
+    metrics: dict[str, ModelMetrics] = {}
+    for name in MODEL_NAMES:
+        result = run_simulation(config, trace, make_policy(name))
+        metrics[name] = ModelMetrics.from_result(result)
+        print(f"ran {MODEL_LABELS[name]:24s} "
+              f"({result.elapsed_ns:8.0f} ns simulated)")
+
+    base = metrics["baseline"]
+    rows = []
+    for name in MODEL_NAMES[1:]:
+        norm = normalize_to_baseline(base, metrics[name])
+        rows.append(
+            (
+                MODEL_LABELS[name],
+                f"{100 * norm.static_savings:.1f}%",
+                f"{100 * norm.dynamic_savings:.1f}%",
+                f"{100 * norm.throughput_loss:.1f}%",
+                f"{100 * norm.gated_fraction:.1f}%",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("model", "static sav", "dynamic sav", "thr loss", "gated"),
+            rows,
+            title=f"{trace.name} on the 8x8 mesh, normalized to Baseline",
+        )
+    )
+    print("\nDVFS decisions (DozzNoC): "
+          + format_distribution(metrics["dozznoc"].mode_distribution))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run DozzNoC on one benchmark trace and inspect the savings.
+
+This is the smallest end-to-end use of the library:
+
+1. build the paper's 8x8 mesh configuration,
+2. generate a PARSEC-signature trace (``blackscholes``),
+3. run the Baseline and the DozzNoC (ML+DVFS+PG) models,
+4. compare energy and performance.
+
+DozzNoC here runs *reactively* (no trained weights) — see
+``examples/train_and_predict.py`` for the full offline-training flow.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimConfig, make_policy, run_simulation
+from repro.traffic import generate_benchmark_trace
+
+DURATION_NS = 4_000.0
+
+
+def main() -> None:
+    config = SimConfig.paper_mesh()
+    trace = generate_benchmark_trace(
+        "blackscholes", num_cores=config.num_cores, duration_ns=DURATION_NS
+    )
+    print(f"trace: {trace.name}, {len(trace)} packets over "
+          f"{trace.duration_ns:.0f} ns")
+
+    baseline = run_simulation(config, trace, make_policy("baseline"))
+    dozznoc = run_simulation(config, trace, make_policy("dozznoc"))
+
+    b, d = baseline.summary(), dozznoc.summary()
+    print(f"\n{'metric':28s}{'baseline':>14s}{'dozznoc':>14s}")
+    for key in ("throughput_flits_per_ns", "avg_latency_ns", "static_pj",
+                "dynamic_pj", "gated_fraction", "elapsed_ns"):
+        print(f"{key:28s}{b[key]:14.3f}{d[key]:14.3f}")
+
+    print(
+        f"\nDozzNoC saved {100 * (1 - d['static_pj'] / b['static_pj']):.1f}% "
+        f"static and {100 * (1 - d['dynamic_pj'] / b['dynamic_pj']):.1f}% "
+        "dynamic energy, for "
+        f"{100 * (1 - d['throughput_flits_per_ns'] / b['throughput_flits_per_ns']):.1f}% "
+        "throughput loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

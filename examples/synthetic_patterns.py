@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Stress DozzNoC with classic synthetic traffic patterns on both topologies.
+
+Benchmark traces are bursty and leave gating opportunities; synthetic
+patterns let you dial load shape directly.  This example sweeps injection
+rate under uniform-random traffic on the 8x8 mesh and the 4x4 cmesh and
+shows where the DVFS modes and the gating opportunity move.
+
+Run:  python examples/synthetic_patterns.py
+"""
+
+from repro import SimConfig, make_policy, run_simulation
+from repro.experiments.report import format_distribution, format_table
+from repro.traffic import generate_pattern_trace
+
+DURATION_NS = 2_500.0
+RATES = (0.005, 0.02, 0.08)
+
+
+def sweep(config: SimConfig, label: str) -> None:
+    rows = []
+    for rate in RATES:
+        trace = generate_pattern_trace(
+            "uniform", config.num_cores, DURATION_NS, rate, seed=7
+        )
+        base = run_simulation(config, trace, make_policy("baseline"))
+        dozz = run_simulation(config, trace, make_policy("dozznoc"))
+        b, d = base.summary(), dozz.summary()
+        rows.append(
+            (
+                f"{rate:.3f}",
+                f"{100 * (1 - d['static_pj'] / b['static_pj']):.0f}%",
+                f"{100 * (1 - d['dynamic_pj'] / b['dynamic_pj']):.0f}%",
+                f"{100 * d['gated_fraction']:.0f}%",
+                format_distribution(dozz.stats.mode_distribution()),
+            )
+        )
+    print(
+        format_table(
+            ("rate (pkt/ns/core)", "static sav", "dyn sav", "gated",
+             "DVFS decisions"),
+            rows,
+            title=f"{label}: DozzNoC vs Baseline under uniform random traffic",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    sweep(SimConfig.paper_mesh(epoch_cycles=250), "8x8 mesh")
+    sweep(SimConfig.paper_cmesh(epoch_cycles=250), "4x4 cmesh (64 cores)")
+    print("As load rises, gating opportunity shrinks and the predictor "
+          "shifts from M3 toward M7 — the energy-proportionality the "
+          "paper targets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and has setuptools without the
+``wheel`` package, so PEP 517/660 editable installs (which must build an
+editable wheel) are unavailable.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+environments where pip falls back automatically) use the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

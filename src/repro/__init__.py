@@ -1,0 +1,47 @@
+"""DozzNoC reproduction: power-gating + DVFS + ML NoC power management.
+
+Reproduces Clark et al., "DozzNoC: Reducing Static and Dynamic Energy in
+NoCs with Low-latency Voltage Regulators using Machine Learning"
+(IPDPS 2020), including every substrate the paper depends on: a
+cycle-accurate multi-clock-domain NoC simulator, a DSENT-calibrated power
+model, a behavioural SIMO/LDO voltage-regulator model, benchmark-signature
+traffic generation, ridge-regression training, and a benchmark harness for
+each table and figure.
+
+Quick start::
+
+    from repro import SimConfig, make_policy, run_simulation
+    from repro.traffic import generate_benchmark_trace
+
+    config = SimConfig.paper_mesh()
+    trace = generate_benchmark_trace("blackscholes", num_cores=64)
+    result = run_simulation(config, trace, make_policy("dozznoc"))
+    print(result.summary())
+"""
+
+from repro.common import SimConfig
+from repro.core import (
+    MODES,
+    MODE_MAX,
+    MODE_MIN,
+    PowerState,
+    make_policy,
+    mode_for_utilization,
+)
+from repro.noc import SimResult, Simulator, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "MODES",
+    "MODE_MAX",
+    "MODE_MIN",
+    "PowerState",
+    "make_policy",
+    "mode_for_utilization",
+    "SimResult",
+    "Simulator",
+    "run_simulation",
+    "__version__",
+]

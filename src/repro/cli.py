@@ -1,0 +1,256 @@
+"""Command-line interface.
+
+``dozznoc`` (or ``python -m repro``) exposes the library's main entry
+points without writing any Python:
+
+* ``dozznoc tables`` — regenerate Tables I-V and compare to the paper,
+* ``dozznoc figure fig5|fig6|fig7|fig8|fig9`` — regenerate a figure,
+* ``dozznoc run --policy dozznoc --benchmark canneal`` — one simulation,
+* ``dozznoc campaign [--compressed] [--cmesh]`` — the full evaluation,
+* ``dozznoc list`` — available benchmarks, policies and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import SimConfig
+from repro.core.controller import POLICIES, make_policy
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.experiments.figures import (
+    EvalScale,
+    fig5_waveforms,
+    fig6_efficiency,
+    fig7_mode_distribution,
+    fig8_throughput_energy,
+    fig9_feature_accuracy,
+)
+from repro.experiments.report import format_distribution, format_table
+from repro.experiments.tables import ALL_TABLES
+from repro.noc.simulator import run_simulation
+from repro.traffic.benchmarks import BENCHMARKS, generate_benchmark_trace
+from repro.traffic.compression import compress_trace
+
+
+def _scale(args: argparse.Namespace) -> EvalScale:
+    if getattr(args, "quick", False):
+        return EvalScale.quick()
+    if getattr(args, "cmesh", False):
+        return EvalScale.cmesh()
+    return EvalScale(duration_ns=args.duration)
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    for name, fn in ALL_TABLES.items():
+        cmp = fn()
+        print(f"\n{cmp.name}  (max |error| vs paper: {cmp.max_abs_error:.3g})")
+        rows = [list(r) for r in cmp.measured_rows]
+        headers = list(cmp.headers)
+        if len(headers) != len(rows[0]):
+            headers = [f"c{i}" for i in range(len(rows[0]))]
+        print(format_table(headers, rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig5":
+        r = fig5_waveforms()
+        print(f"T-Wakeup (0->0.8V): {r.t_wakeup_ns:.2f} ns (paper: 8.5 ns)")
+        print(f"T-Switch (0.8->1.2V): {r.t_switch_ns:.2f} ns (paper: 6.9 ns)")
+    elif name == "fig6":
+        r = fig6_efficiency()
+        rows = [
+            (f"{v:.2f}", f"{b:.3f}", f"{s:.3f}", f"{(s - b):+.3f}")
+            for v, b, s in zip(r.voltages, r.baseline, r.simo)
+        ]
+        print(format_table(("Vout", "baseline", "SIMO", "gain"), rows))
+    elif name == "fig7":
+        dists = fig7_mode_distribution(_scale(args))
+        for model, per_bench in dists.items():
+            print(f"\n{model}:")
+            for bench, dist in per_bench.items():
+                print(f"  {bench:15s} {format_distribution(dist)}")
+    elif name == "fig8":
+        r = fig8_throughput_energy(_scale(args))
+        for label, campaign in (
+            ("compressed", r.compressed),
+            ("uncompressed", r.uncompressed),
+        ):
+            print(f"\nFig 8 ({label}):")
+            rows = [
+                (
+                    row["model"],
+                    f"{row['static_savings_pct']:.1f}",
+                    f"{row['dynamic_savings_pct']:.1f}",
+                    f"{row['throughput_loss_pct']:.1f}",
+                    f"{row['latency_increase_pct']:.1f}",
+                )
+                for row in campaign.summary_rows()
+            ]
+            print(
+                format_table(
+                    ("model", "static sav %", "dyn sav %", "thr loss %", "lat +%"),
+                    rows,
+                )
+            )
+    elif name == "fig9":
+        rows = [
+            (fa.feature, f"{fa.average:.2f}")
+            for fa in fig9_feature_accuracy(_scale(args))
+        ]
+        print(format_table(("feature", "mode-selection accuracy"), rows))
+    else:
+        print(f"unknown figure {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    base = SimConfig.paper_cmesh() if args.cmesh else SimConfig.paper_mesh()
+    config = base.with_(switching=args.switching)
+    trace = generate_benchmark_trace(
+        args.benchmark, num_cores=config.num_cores, duration_ns=args.duration,
+        seed=args.seed,
+    )
+    if args.compressed:
+        trace = compress_trace(trace)
+    result = run_simulation(config, trace, make_policy(args.policy))
+    for key, value in sorted(result.summary().items()):
+        print(f"{key:28s} {value:.6g}")
+    if args.map:
+        from repro.experiments.heatmap import spatial_report
+
+        print()
+        print(spatial_report(result))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = generate_benchmark_trace(
+        args.benchmark, num_cores=args.cores, duration_ns=args.duration,
+        seed=args.seed,
+    )
+    if args.compressed:
+        trace = compress_trace(trace)
+    print(f"benchmark:      {trace.name}")
+    print(f"entries:        {len(trace)}")
+    print(f"duration:       {trace.duration_ns:.1f} ns")
+    print(f"rate:           {trace.injection_rate:.5f} pkt/ns/core")
+    print(f"requests:       {trace.request_fraction():.1%}")
+    per_core = trace.packets_to_core()
+    print(f"hottest sink:   core {int(per_core.argmax())} "
+          f"({int(per_core.max())} packets)")
+    if args.out:
+        if args.out.endswith(".jsonl"):
+            trace.save_jsonl(args.out)
+        else:
+            trace.save_npz(args.out)
+        print(f"written to:     {args.out}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    scale = _scale(args)
+    campaign = CampaignConfig(
+        sim=scale.sim,
+        duration_ns=scale.duration_ns,
+        compressed=args.compressed,
+        seed=args.seed,
+    )
+    result = run_campaign(campaign)
+    rows = [
+        (
+            row["model"],
+            f"{row['static_savings_pct']:.1f}",
+            f"{row['dynamic_savings_pct']:.1f}",
+            f"{row['throughput_loss_pct']:.1f}",
+            f"{row['latency_increase_pct']:.1f}",
+            f"{row['gated_fraction_pct']:.1f}",
+        )
+        for row in result.summary_rows()
+    ]
+    print(
+        format_table(
+            ("model", "static sav %", "dyn sav %", "thr loss %", "lat +%", "gated %"),
+            rows,
+            title=f"Campaign ({campaign.sim.topology}, "
+            f"{'compressed' if args.compressed else 'uncompressed'})",
+        )
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks:", ", ".join(sorted(BENCHMARKS)))
+    print("policies:  ", ", ".join(sorted(POLICIES)))
+    print("tables:    ", ", ".join(sorted(ALL_TABLES)))
+    print("figures:   ", "fig5, fig6, fig7, fig8, fig9")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dozznoc", description="DozzNoC reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="regenerate Tables I-V").set_defaults(
+        fn=_cmd_tables
+    )
+
+    p_fig = sub.add_parser("figure", help="regenerate one figure")
+    p_fig.add_argument("name", choices=["fig5", "fig6", "fig7", "fig8", "fig9"])
+    p_fig.add_argument("--quick", action="store_true", help="small fast profile")
+    p_fig.add_argument("--duration", type=float, default=12_000.0)
+    p_fig.set_defaults(fn=_cmd_figure, cmesh=False)
+
+    p_run = sub.add_parser("run", help="run one policy on one benchmark")
+    p_run.add_argument("--policy", choices=sorted(POLICIES), default="dozznoc")
+    p_run.add_argument("--benchmark", choices=sorted(BENCHMARKS),
+                       default="blackscholes")
+    p_run.add_argument("--duration", type=float, default=12_000.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--compressed", action="store_true")
+    p_run.add_argument("--cmesh", action="store_true")
+    p_run.add_argument("--switching", choices=["vct", "wormhole"],
+                       default="vct")
+    p_run.add_argument("--map", action="store_true",
+                       help="print per-router heatmaps")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_trace = sub.add_parser("trace", help="generate / inspect a trace")
+    p_trace.add_argument("--benchmark", choices=sorted(BENCHMARKS),
+                         default="canneal")
+    p_trace.add_argument("--cores", type=int, default=64)
+    p_trace.add_argument("--duration", type=float, default=8_000.0)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--compressed", action="store_true")
+    p_trace.add_argument("--out", default=None,
+                         help="write to .npz or .jsonl")
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_camp = sub.add_parser("campaign", help="full train-then-test evaluation")
+    p_camp.add_argument("--compressed", action="store_true")
+    p_camp.add_argument("--cmesh", action="store_true")
+    p_camp.add_argument("--quick", action="store_true")
+    p_camp.add_argument("--duration", type=float, default=12_000.0)
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.set_defaults(fn=_cmd_campaign)
+
+    sub.add_parser("list", help="list benchmarks/policies/experiments").set_defaults(
+        fn=_cmd_list
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Shared utilities: units, configuration, RNG management, errors.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.common.units import (
+    BASE_TICKS_PER_NS,
+    GHZ_PERIOD_TICKS,
+    ns_to_ticks,
+    ticks_to_ns,
+    period_ticks_for_ghz,
+)
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    TopologyError,
+    RoutingError,
+    SimulationError,
+    TrafficError,
+    TrainingError,
+)
+from repro.common.rng import make_rng, spawn_rngs, stable_seed
+from repro.common.config import SimConfig
+
+__all__ = [
+    "BASE_TICKS_PER_NS",
+    "GHZ_PERIOD_TICKS",
+    "ns_to_ticks",
+    "ticks_to_ns",
+    "period_ticks_for_ghz",
+    "ReproError",
+    "ConfigError",
+    "TopologyError",
+    "RoutingError",
+    "SimulationError",
+    "TrafficError",
+    "TrainingError",
+    "make_rng",
+    "spawn_rngs",
+    "stable_seed",
+    "SimConfig",
+]

@@ -1,0 +1,82 @@
+"""DozzNoC's primary contribution: the power-management layer.
+
+Operating modes and their delay costs (Tables II/III), the three-state
+power FSM, threshold DVFS mode selection (Fig 3b), the Feature Extract /
+Label Generate / Model Select units (Fig 1c), and the five evaluated
+models: Baseline, PG (Power Punch-style), LEAD-tau (DVFS+ML), DozzNoC
+(ML+PG+DVFS) and ML+TURBO.
+"""
+
+from repro.core.modes import (
+    Mode,
+    MODES,
+    MODE_BY_INDEX,
+    MODE_BY_VOLTAGE,
+    MODE_MAX,
+    MODE_MIN,
+    VOLTAGES,
+    MIN_MODE,
+    MAX_MODE,
+    MODE_INACTIVE,
+    MODE_WAKEUP,
+    mode,
+)
+from repro.core.states import PowerState
+from repro.core.thresholds import (
+    THRESHOLDS,
+    SATURATED_MODE,
+    mode_index_for_utilization,
+    mode_for_utilization,
+)
+from repro.core.features import (
+    Feature,
+    FeatureSet,
+    REDUCED_FEATURES,
+    FULL_FEATURES,
+    SINGLE_FEATURE_CANDIDATES,
+    single_feature_set,
+)
+from repro.core.controller import (
+    PowerPolicy,
+    BaselinePolicy,
+    PowerGatedPolicy,
+    LeadPolicy,
+    DozzNocPolicy,
+    TurboPolicy,
+    POLICIES,
+    make_policy,
+)
+
+__all__ = [
+    "Mode",
+    "MODES",
+    "MODE_BY_INDEX",
+    "MODE_BY_VOLTAGE",
+    "MODE_MAX",
+    "MODE_MIN",
+    "VOLTAGES",
+    "MIN_MODE",
+    "MAX_MODE",
+    "MODE_INACTIVE",
+    "MODE_WAKEUP",
+    "mode",
+    "PowerState",
+    "THRESHOLDS",
+    "SATURATED_MODE",
+    "mode_index_for_utilization",
+    "mode_for_utilization",
+    "Feature",
+    "FeatureSet",
+    "REDUCED_FEATURES",
+    "FULL_FEATURES",
+    "SINGLE_FEATURE_CANDIDATES",
+    "single_feature_set",
+    "PowerPolicy",
+    "BaselinePolicy",
+    "PowerGatedPolicy",
+    "LeadPolicy",
+    "DozzNocPolicy",
+    "TurboPolicy",
+    "POLICIES",
+    "make_policy",
+]

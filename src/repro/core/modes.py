@@ -1,0 +1,119 @@
+"""DozzNoC operating modes (Section III.A, Tables II/III).
+
+DozzNoC numbers its modes 1-7:
+
+* **Mode 1** — inactive (power-gated, 0 V),
+* **Mode 2** — wakeup (local rail charging to Vdd; consumes active power,
+  cannot move packets),
+* **Modes 3-7** — the five active V/F pairs
+  {0.8 V/1 GHz, 0.9 V/1.5 GHz, 1.0 V/1.8 GHz, 1.1 V/2 GHz, 1.2 V/2.25 GHz}.
+
+This module defines the active modes and the paper's Table III delay
+constants (T-Switch, T-Wakeup, T-Breakeven in *target-mode* cycles).  The
+cycle costs can also be re-derived from the behavioural regulator model in
+:mod:`repro.regulator.latency`; the simulator uses the published constants
+by default so results match the paper's timing assumptions exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import period_ticks_for_ghz
+
+#: Index of the lowest/highest active modes in DozzNoC numbering.
+MIN_MODE = 3
+MAX_MODE = 7
+
+#: Paper-numbered non-active "modes".
+MODE_INACTIVE = 1
+MODE_WAKEUP = 2
+
+
+@dataclass(frozen=True)
+class Mode:
+    """One active V/F operating point.
+
+    Attributes
+    ----------
+    index:
+        DozzNoC mode number (3-7).
+    voltage:
+        Supply voltage in volts.
+    freq_ghz:
+        Clock frequency in GHz.
+    period_ticks:
+        Exact clock period in 1/18 ns base ticks.
+    t_switch_cycles:
+        Cycles (of this mode's clock) a router stalls when switching into
+        this mode from another active mode (Table III, worst-case 6.9 ns).
+    t_wakeup_cycles:
+        Cycles a router spends in the wakeup state before becoming active
+        in this mode (Table III, worst-case 8.8 ns).
+    t_breakeven_cycles:
+        Minimum off-time, in this mode's cycles, for a net static-power win
+        (Table III; 12 at the highest mode, proportionally less below).
+    """
+
+    index: int
+    voltage: float
+    freq_ghz: float
+    period_ticks: int
+    t_switch_cycles: int
+    t_wakeup_cycles: int
+    t_breakeven_cycles: int
+
+    @property
+    def period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1.0 / self.freq_ghz
+
+    @property
+    def name(self) -> str:
+        """Short display name, e.g. ``"M3"``."""
+        return f"M{self.index}"
+
+
+def _mode(index: int, v: float, f: float, tsw: int, twk: int, tbe: int) -> Mode:
+    return Mode(
+        index=index,
+        voltage=v,
+        freq_ghz=f,
+        period_ticks=period_ticks_for_ghz(f),
+        t_switch_cycles=tsw,
+        t_wakeup_cycles=twk,
+        t_breakeven_cycles=tbe,
+    )
+
+
+#: The five active modes, Table III column order.
+MODES: tuple[Mode, ...] = (
+    _mode(3, 0.8, 1.00, 7, 9, 8),
+    _mode(4, 0.9, 1.50, 11, 12, 9),
+    _mode(5, 1.0, 1.80, 13, 15, 10),
+    _mode(6, 1.1, 2.00, 14, 16, 11),
+    _mode(7, 1.2, 2.25, 16, 18, 12),
+)
+
+#: Mode lookup by DozzNoC index (3-7).
+MODE_BY_INDEX: dict[int, Mode] = {m.index: m for m in MODES}
+
+#: Mode lookup by supply voltage.
+MODE_BY_VOLTAGE: dict[float, Mode] = {m.voltage: m for m in MODES}
+
+#: All active supply voltages, ascending.
+VOLTAGES: tuple[float, ...] = tuple(m.voltage for m in MODES)
+
+#: Highest-performance mode (the baseline's only mode).
+MODE_MAX: Mode = MODE_BY_INDEX[MAX_MODE]
+
+#: Lowest active mode.
+MODE_MIN: Mode = MODE_BY_INDEX[MIN_MODE]
+
+
+def mode(index: int) -> Mode:
+    """Return the active :class:`Mode` for DozzNoC index 3-7."""
+    try:
+        return MODE_BY_INDEX[index]
+    except KeyError:
+        raise ValueError(f"no active mode {index}; valid indices are 3-7") from None

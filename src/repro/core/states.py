@@ -1,0 +1,30 @@
+"""Router power states (Figure 2c).
+
+A DozzNoC router is always in exactly one of three states:
+
+* :attr:`PowerState.INACTIVE` — power-gated at 0 V; cannot send, receive or
+  hop packets (paper mode 1),
+* :attr:`PowerState.WAKEUP` — rail charging toward the target Vdd; consumes
+  active-level power but cannot move packets until T-Wakeup elapses (mode 2),
+* :attr:`PowerState.ACTIVE` — operating at one of the five V/F modes 3-7;
+  additionally the router may be mid-*switch* between two active modes, which
+  stalls the pipeline for T-Switch cycles (tracked separately by the
+  controller as a stall counter, not as a distinct state, matching Fig 3).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PowerState(enum.IntEnum):
+    """The three operational states of a DozzNoC router."""
+
+    INACTIVE = 1
+    WAKEUP = 2
+    ACTIVE = 3
+
+    @property
+    def can_transport(self) -> bool:
+        """Whether a router in this state may move packets."""
+        return self is PowerState.ACTIVE

@@ -1,0 +1,49 @@
+"""Threshold-based active-mode selection (Figure 3b).
+
+All three ML models (DozzNoC, LEAD-tau, ML+TURBO) share one piece of logic:
+compare the (predicted or current) input-buffer utilization, expressed as a
+fraction of the theoretical maximum, against fixed thresholds and pick the
+active voltage mode for the next epoch:
+
+=====================  ======
+Predicted IBU fraction  Mode
+=====================  ======
+u < 5 %                 M3
+5 % <= u < 10 %         M4
+10 % <= u < 20 %        M5
+20 % <= u < 25 %        M6
+u >= 25 %               M7
+=====================  ======
+"""
+
+from __future__ import annotations
+
+from repro.core.modes import Mode, mode
+
+#: (upper-bound-exclusive utilization fraction, mode index) pairs, ascending.
+THRESHOLDS: tuple[tuple[float, int], ...] = (
+    (0.05, 3),
+    (0.10, 4),
+    (0.20, 5),
+    (0.25, 6),
+)
+
+#: Mode selected when utilization is at or above the last threshold.
+SATURATED_MODE = 7
+
+
+def mode_index_for_utilization(u: float) -> int:
+    """Map an IBU fraction to a DozzNoC mode index (3-7).
+
+    Negative predictions (possible from a linear model) clamp to the lowest
+    mode; predictions above 1.0 clamp to the highest.
+    """
+    for bound, idx in THRESHOLDS:
+        if u < bound:
+            return idx
+    return SATURATED_MODE
+
+
+def mode_for_utilization(u: float) -> Mode:
+    """Map an IBU fraction to the corresponding :class:`Mode`."""
+    return mode(mode_index_for_utilization(u))

@@ -1,0 +1,149 @@
+"""Full evaluation campaigns (Section IV).
+
+A *campaign* is the paper's end-to-end procedure for one configuration:
+
+1. generate the 14-trace suite (optionally compressed),
+2. train each ML model's ridge predictor offline on the 6 training traces,
+   tuning lambda on the 3 validation traces,
+3. run all five models proactively on the 5 test traces,
+4. normalize everything to the Baseline, per trace and averaged.
+
+Campaign scale (trace duration) is configurable so tests run in seconds
+while the benchmark harness uses paper-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.config import SimConfig
+from repro.core.features import REDUCED_FEATURES, FeatureSet
+from repro.experiments.runner import (
+    MODEL_NAMES,
+    ModelMetrics,
+    NormalizedMetrics,
+    normalize_to_baseline,
+    run_model,
+)
+from repro.ml.training import DEFAULT_LAMBDAS, cached_train
+from repro.traffic.suite import TraceSuite, build_suite
+
+#: Which models need a trained predictor.
+ML_MODELS: tuple[str, ...] = ("lead", "dozznoc", "turbo")
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that parameterizes one campaign."""
+
+    sim: SimConfig = field(default_factory=SimConfig.paper_mesh)
+    duration_ns: float = 12_000.0
+    compressed: bool = False
+    seed: int = 0
+    feature_set: FeatureSet = REDUCED_FEATURES
+    models: tuple[str, ...] = MODEL_NAMES
+    lambdas: tuple[float, ...] = DEFAULT_LAMBDAS
+    cache_dir: str | Path | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Per-trace and averaged results of one campaign."""
+
+    config: CampaignConfig
+    metrics: dict[str, dict[str, ModelMetrics]]  # trace -> model -> metrics
+    normalized: dict[str, dict[str, NormalizedMetrics]]
+    weights: dict[str, np.ndarray]  # ML model -> trained weight vector
+
+    def average_normalized(self, model: str) -> NormalizedMetrics:
+        """Mean normalized metrics for ``model`` across test traces."""
+        rows = [self.normalized[t][model] for t in self.normalized]
+        if not rows:
+            raise ValueError("campaign produced no results")
+        return NormalizedMetrics(
+            model=model,
+            trace="average",
+            static_energy=float(np.mean([r.static_energy for r in rows])),
+            dynamic_energy=float(np.mean([r.dynamic_energy for r in rows])),
+            throughput_loss=float(np.mean([r.throughput_loss for r in rows])),
+            latency_increase=float(np.mean([r.latency_increase for r in rows])),
+            gated_fraction=float(np.mean([r.gated_fraction for r in rows])),
+        )
+
+    def summary_rows(self) -> list[dict[str, float | str]]:
+        """One averaged row per model (Fig 8 / Section IV.B.2 shape)."""
+        rows: list[dict[str, float | str]] = []
+        for model in self.config.models:
+            if model == "baseline":
+                continue
+            avg = self.average_normalized(model)
+            rows.append(
+                {
+                    "model": model,
+                    "static_savings_pct": 100 * avg.static_savings,
+                    "dynamic_savings_pct": 100 * avg.dynamic_savings,
+                    "throughput_loss_pct": 100 * avg.throughput_loss,
+                    "latency_increase_pct": 100 * avg.latency_increase,
+                    "gated_fraction_pct": 100 * avg.gated_fraction,
+                }
+            )
+        return rows
+
+
+def train_ml_models(
+    suite: TraceSuite, campaign: CampaignConfig
+) -> dict[str, np.ndarray]:
+    """Offline phase: one trained weight vector per ML model."""
+    weights: dict[str, np.ndarray] = {}
+    for model in ML_MODELS:
+        if model not in campaign.models:
+            continue
+        ridge = cached_train(
+            model,
+            suite.train,
+            suite.validation,
+            campaign.sim,
+            feature_set=campaign.feature_set,
+            lambdas=campaign.lambdas,
+            cache_dir=campaign.cache_dir,
+        )
+        weights[model] = ridge.weights
+    return weights
+
+
+def run_campaign(campaign: CampaignConfig) -> CampaignResult:
+    """Execute the full train-then-test evaluation."""
+    suite = build_suite(
+        num_cores=campaign.sim.num_cores,
+        duration_ns=campaign.duration_ns,
+        seed=campaign.seed,
+        compressed=campaign.compressed,
+    )
+    weights = train_ml_models(suite, campaign)
+
+    metrics: dict[str, dict[str, ModelMetrics]] = {}
+    normalized: dict[str, dict[str, NormalizedMetrics]] = {}
+    for trace in suite.test:
+        per_model: dict[str, ModelMetrics] = {}
+        for model in campaign.models:
+            result = run_model(
+                model,
+                trace,
+                campaign.sim,
+                weights=weights.get(model),
+                feature_set=campaign.feature_set,
+            )
+            per_model[model] = ModelMetrics.from_result(result)
+        metrics[trace.name] = per_model
+        base = per_model["baseline"]
+        normalized[trace.name] = {
+            m: normalize_to_baseline(base, per_model[m])
+            for m in campaign.models
+            if m != "baseline"
+        }
+    return CampaignResult(
+        config=campaign, metrics=metrics, normalized=normalized, weights=weights
+    )

@@ -1,0 +1,119 @@
+"""Spatial (per-router) views of a simulation result.
+
+The paper reasons about *which* routers sleep (downstream securing, XY
+paths, hotspots).  This module turns a :class:`~repro.noc.simulator.SimResult`
+into per-router grids — gated fraction, energy, traffic, dominant mode —
+and renders them as ASCII heatmaps for reports and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.simulator import SimResult
+
+#: Shade ramp from cold to hot.
+SHADES = " .:-=+*#%@"
+
+
+def router_grid(values: np.ndarray, radix: int) -> np.ndarray:
+    """Reshape a per-router vector into the (y, x) router grid."""
+    values = np.asarray(values, dtype=float)
+    if values.shape != (radix * radix,):
+        raise ValueError(
+            f"expected {radix * radix} router values, got {values.shape}"
+        )
+    return values.reshape(radix, radix)
+
+
+def gated_fraction_grid(result: SimResult) -> np.ndarray:
+    """Fraction of the run each router spent power-gated, as a grid."""
+    acc = result.accountant
+    total = acc.gated_time_ns + acc.powered_time_ns
+    with np.errstate(invalid="ignore", divide="ignore"):
+        frac = np.where(total > 0, acc.gated_time_ns / total, 0.0)
+    return router_grid(frac, result.config.radix)
+
+
+def traffic_grid(result: SimResult) -> np.ndarray:
+    """Flit-hops forwarded per router, as a grid."""
+    return router_grid(
+        result.accountant.flit_hops.astype(float), result.config.radix
+    )
+
+
+def energy_grid(result: SimResult) -> np.ndarray:
+    """Total energy (static + dynamic, pJ) per router, as a grid."""
+    acc = result.accountant
+    total = acc.static_pj + acc.wake_pj + acc.dynamic_pj + acc.ml_pj
+    return router_grid(total, result.config.radix)
+
+
+def dominant_mode_grid(result: SimResult) -> np.ndarray:
+    """Each router's most-resided active mode index (3-7), as a grid."""
+    acc = result.accountant
+    stack = np.vstack([acc.mode_time_ns[m] for m in range(3, 8)])
+    dominant = stack.argmax(axis=0) + 3
+    return router_grid(dominant.astype(float), result.config.radix)
+
+
+def render_heatmap(
+    grid: np.ndarray,
+    title: str = "",
+    vmin: float | None = None,
+    vmax: float | None = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a grid as an ASCII heatmap with a value legend.
+
+    Each cell shows a shade character scaled between ``vmin`` and ``vmax``
+    (defaulting to the grid's own range).
+    """
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError("heatmap expects a 2-D grid")
+    lo = grid.min() if vmin is None else vmin
+    hi = grid.max() if vmax is None else vmax
+    span = hi - lo
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        cells = []
+        for v in row:
+            if span <= 0:
+                k = 0
+            else:
+                k = int(np.clip((v - lo) / span, 0, 1) * (len(SHADES) - 1))
+            cells.append(SHADES[k] * 2)
+        lines.append("|" + "".join(cells) + "|")
+    lines.append(
+        f"scale: '{SHADES[0]}' = {fmt.format(lo)}  ..  "
+        f"'{SHADES[-1]}' = {fmt.format(hi)}"
+    )
+    return "\n".join(lines)
+
+
+def spatial_report(result: SimResult) -> str:
+    """A full spatial report: gating, traffic, energy and dominant mode."""
+    parts = [
+        render_heatmap(
+            gated_fraction_grid(result),
+            title=f"gated fraction per router ({result.policy_name} on "
+            f"{result.trace_name})",
+            vmin=0.0,
+            vmax=1.0,
+        ),
+        render_heatmap(traffic_grid(result), title="flit-hops per router",
+                       fmt="{:.0f}"),
+        render_heatmap(energy_grid(result), title="total energy per router (pJ)",
+                       fmt="{:.0f}"),
+        render_heatmap(
+            dominant_mode_grid(result),
+            title="dominant active mode per router (3=0.8V .. 7=1.2V)",
+            vmin=3,
+            vmax=7,
+            fmt="{:.0f}",
+        ),
+    ]
+    return "\n\n".join(parts)

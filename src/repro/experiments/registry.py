@@ -1,0 +1,89 @@
+"""Experiment registry: every reproduction, addressable by id.
+
+Maps experiment identifiers (``table1`` … ``fig9``, ``cmesh``,
+``epoch_sweep``, …) to zero-argument callables (fast artifacts) or
+scale-taking callables (simulation-backed), so the CLI and notebooks can
+enumerate and run them uniformly.  The benchmark harness remains the
+canonical runner (it also asserts shapes and writes reports); the registry
+is the lightweight programmatic entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.experiments import figures, tables
+from repro.experiments.figures import EvalScale
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered reproduction."""
+
+    id: str
+    title: str
+    kind: str  # "table" | "figure" | "text" | "extension"
+    needs_simulation: bool
+    run: Callable[..., Any]
+
+
+def _sim(fn: Callable[[EvalScale], Any]) -> Callable[..., Any]:
+    def wrapper(scale: EvalScale | None = None) -> Any:
+        return fn(scale or EvalScale.quick())
+
+    return wrapper
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in (
+        Experiment("table1", "Table I: LDO dropout ranges", "table", False,
+                   tables.table1),
+        Experiment("table2", "Table II: switch-latency matrix", "table",
+                   False, tables.table2),
+        Experiment("table3", "Table III: cycle costs", "table", False,
+                   tables.table3),
+        Experiment("table4", "Table IV: reduced feature set", "table", False,
+                   tables.table4),
+        Experiment("table5", "Table V: power model", "table", False,
+                   tables.table5),
+        Experiment("fig5", "Fig 5: regulator transients", "figure", False,
+                   figures.fig5_waveforms),
+        Experiment("fig6", "Fig 6: delivery efficiency", "figure", False,
+                   figures.fig6_efficiency),
+        Experiment("fig7", "Fig 7: DVFS mode distribution", "figure", True,
+                   _sim(figures.fig7_mode_distribution)),
+        Experiment("fig8", "Fig 8: throughput + normalized energy", "figure",
+                   True, _sim(figures.fig8_throughput_energy)),
+        Experiment("fig9", "Fig 9/11: single-feature accuracy", "figure",
+                   True, _sim(figures.fig9_feature_accuracy)),
+        Experiment("cmesh", "IV.B.2: concentrated-mesh results", "text", True,
+                   _sim(figures.cmesh_results)),
+        Experiment("epoch_sweep", "IV.B.1: epoch-size trade-off", "text",
+                   True, _sim(figures.epoch_size_sweep)),
+        Experiment("feature_ablation", "IV.B.1: 5 vs 41 features", "text",
+                   True, _sim(figures.feature_ablation)),
+        Experiment("tidle", "III.B: T-Idle trade-off (extension)",
+                   "extension", True, _sim(figures.t_idle_sweep)),
+        Experiment("buffers", "buffer-depth sweep (extension)", "extension",
+                   True, _sim(figures.buffer_depth_sweep)),
+        Experiment("ladder", "DVFS-ladder granularity (extension)",
+                   "extension", True, _sim(figures.mode_ladder_ablation)),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment, with a helpful error."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choices: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> list[Experiment]:
+    """All experiments, id order."""
+    return [EXPERIMENTS[k] for k in sorted(EXPERIMENTS)]

@@ -1,0 +1,53 @@
+"""Plain-text reporting helpers for the benchmark harness and CLI.
+
+Every table/figure reproduction prints through these so that the bench
+output reads like the paper's tables: fixed-width ASCII with aligned
+columns and an optional title rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [
+        [
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(x: float, digits: int = 1) -> str:
+    """Render a fraction as a percent string (0.25 -> ``"25.0%"``)."""
+    return f"{100 * x:.{digits}f}%"
+
+
+def format_distribution(dist: dict[int, float]) -> str:
+    """Render a mode distribution as ``M3:xx% ... M7:xx%``."""
+    return " ".join(f"M{m}:{format_percent(v, 0)}" for m, v in sorted(dist.items()))

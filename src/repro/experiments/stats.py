@@ -1,0 +1,98 @@
+"""Multi-seed campaign statistics.
+
+Synthetic traces are random draws from each benchmark's signature; a single
+seed can flatter or punish a model.  This module runs a campaign across
+several seeds and aggregates every normalized metric into mean / standard
+deviation / a normal-approximation confidence interval — the hygiene a
+simulation paper's tables imply even when they do not print error bars.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.campaign import CampaignConfig, run_campaign
+
+#: Metrics aggregated from NormalizedMetrics, by attribute name.
+AGGREGATED_METRICS: tuple[str, ...] = (
+    "static_energy",
+    "dynamic_energy",
+    "throughput_loss",
+    "latency_increase",
+    "gated_fraction",
+)
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean / spread of one metric across seeds."""
+
+    mean: float
+    std: float
+    n: int
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95 % confidence interval of the mean."""
+        if self.n < 2:
+            return (self.mean, self.mean)
+        half = 1.96 * self.std / math.sqrt(self.n)
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass(frozen=True)
+class MultiSeedResult:
+    """Aggregated normalized metrics: model -> metric -> stats."""
+
+    seeds: tuple[int, ...]
+    stats: dict[str, dict[str, MetricStats]]
+
+    def mean(self, model: str, metric: str) -> float:
+        """Shortcut for ``stats[model][metric].mean``."""
+        return self.stats[model][metric].mean
+
+    def savings_mean(self, model: str, kind: str) -> float:
+        """Mean fractional saving (``kind`` in static/dynamic)."""
+        return 1.0 - self.mean(model, f"{kind}_energy")
+
+
+def run_multi_seed(
+    campaign: CampaignConfig,
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> MultiSeedResult:
+    """Run the campaign once per seed and aggregate normalized metrics.
+
+    Each seed regenerates the whole 14-trace suite (and retrains the ML
+    predictors on it), so the spread captures trace randomness end to end.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_model: dict[str, dict[str, list[float]]] = {}
+    for seed in seeds:
+        cfg = dataclasses.replace(campaign, seed=seed)
+        result = run_campaign(cfg)
+        for model in cfg.models:
+            if model == "baseline":
+                continue
+            avg = result.average_normalized(model)
+            bucket = per_model.setdefault(
+                model, {m: [] for m in AGGREGATED_METRICS}
+            )
+            for metric in AGGREGATED_METRICS:
+                bucket[metric].append(getattr(avg, metric))
+
+    stats = {
+        model: {
+            metric: MetricStats(
+                mean=float(np.mean(vals)),
+                std=float(np.std(vals, ddof=1)) if len(vals) > 1 else 0.0,
+                n=len(vals),
+            )
+            for metric, vals in metrics.items()
+        }
+        for model, metrics in per_model.items()
+    }
+    return MultiSeedResult(seeds=tuple(seeds), stats=stats)

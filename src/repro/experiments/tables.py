@@ -1,0 +1,206 @@
+"""Reproduction of the paper's Tables I-V.
+
+Each ``tableN()`` returns structured data regenerated from the behavioural
+models, alongside the paper's published values (``PAPER_*`` constants) so
+the benches and EXPERIMENTS.md can report paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import REDUCED_FEATURES
+from repro.core.modes import MODES
+from repro.power.dsent import power_table
+from repro.regulator.latency import (
+    derive_cycle_costs,
+    latency_matrix_ns,
+)
+from repro.regulator.simo import dropout_table
+
+# ---------------------------------------------------------------------- #
+# Published values (for comparison only — the code regenerates its own)
+# ---------------------------------------------------------------------- #
+
+#: Table I rows: (Vin, Vout range, dropout range).
+PAPER_TABLE1 = (
+    (0.9, (0.8, 0.9), (0.0, 0.1)),
+    (1.1, (1.0, 1.1), (0.0, 0.1)),
+    (1.2, (1.2, 1.2), (0.0, 0.0)),
+)
+
+#: Table II (ns): rows/cols are [PG, 0.8, 0.9, 1.0, 1.1, 1.2].
+PAPER_TABLE2 = np.array(
+    [
+        [0.0, 8.5, 8.7, 8.7, 8.7, 8.8],
+        [8.5, 0.0, 4.2, 5.5, 6.2, 6.7],
+        [8.7, 4.2, 0.0, 4.4, 5.5, 6.3],
+        [8.7, 5.5, 4.4, 0.0, 4.3, 5.5],
+        [8.7, 6.3, 5.4, 4.3, 0.0, 4.3],
+        [8.8, 6.9, 6.3, 5.4, 4.1, 0.0],
+    ]
+)
+
+#: Table III: (voltage, f GHz, T-Switch, T-Wakeup, T-Breakeven) in cycles.
+PAPER_TABLE3 = (
+    (0.8, 1.00, 7, 9, 8),
+    (0.9, 1.50, 11, 12, 9),
+    (1.0, 1.80, 13, 15, 10),
+    (1.1, 2.00, 14, 16, 11),
+    (1.2, 2.25, 16, 18, 12),
+)
+
+#: Table IV: the reduced feature set (our implementation names).
+PAPER_TABLE4 = (
+    "Array of 1's",
+    "Requests Sent by Cores Connected to Router",
+    "Requests Received by Cores Connected to Router",
+    "Router Total Off Time",
+    "Current Input Buffer Utilization",
+)
+
+#: Table V: (voltage, f GHz, static J/s, static normalized, dynamic pJ/hop).
+PAPER_TABLE5 = (
+    (0.8, 1.00, 0.036, 0.667, 25.1),
+    (0.9, 1.50, 0.041, 0.750, 31.8),
+    (1.0, 1.80, 0.045, 0.833, 39.2),
+    (1.1, 2.00, 0.050, 0.917, 47.5),
+    (1.2, 2.25, 0.054, 1.000, 56.5),
+)
+
+
+@dataclass(frozen=True)
+class TableComparison:
+    """A regenerated table plus the paper's version and the max deviation."""
+
+    name: str
+    headers: tuple[str, ...]
+    measured_rows: tuple[tuple, ...]
+    paper_rows: tuple[tuple, ...]
+    max_abs_error: float
+
+
+def table1() -> TableComparison:
+    """Table I: LDO dropout ranges for the three SIMO rails."""
+    rows = dropout_table()
+    measured = tuple(
+        (r.vin, (r.vout_min, r.vout_max), (r.dropout_min, r.dropout_max))
+        for r in rows
+    )
+    err = 0.0
+    for got, want in zip(measured, PAPER_TABLE1):
+        err = max(err, abs(got[0] - want[0]))
+        err = max(err, abs(got[1][0] - want[1][0]), abs(got[1][1] - want[1][1]))
+        err = max(err, abs(got[2][0] - want[2][0]), abs(got[2][1] - want[2][1]))
+    return TableComparison(
+        name="Table I (LDO dropout ranges)",
+        headers=("LDO Vin", "Vout range", "Dropout range"),
+        measured_rows=measured,
+        paper_rows=PAPER_TABLE1,
+        max_abs_error=err,
+    )
+
+
+def table2() -> TableComparison:
+    """Table II: mode<->mode switching latency matrix (ns)."""
+    measured = latency_matrix_ns()
+    err = float(np.max(np.abs(measured - PAPER_TABLE2)))
+    return TableComparison(
+        name="Table II (switch latency, ns)",
+        headers=("from\\to", "PG", "0.8V", "0.9V", "1.0V", "1.1V", "1.2V"),
+        measured_rows=tuple(tuple(np.round(row, 2)) for row in measured),
+        paper_rows=tuple(tuple(row) for row in PAPER_TABLE2),
+        max_abs_error=err,
+    )
+
+
+def table3() -> TableComparison:
+    """Table III: per-mode delay costs in cycles.
+
+    The simulator uses the published constants (in :mod:`repro.core.modes`);
+    this comparison shows both those constants and the costs re-derived from
+    the behavioural regulator, whose worst-case wakeup rounds a cycle or two
+    differently at the fastest clocks (see EXPERIMENTS.md).
+    """
+    derived = derive_cycle_costs()
+    measured = tuple(
+        (
+            c.mode.voltage,
+            c.mode.freq_ghz,
+            c.t_switch_cycles,
+            c.t_wakeup_cycles,
+            c.t_breakeven_cycles,
+        )
+        for c in derived
+    )
+    err = 0.0
+    for got, want in zip(measured, PAPER_TABLE3):
+        for g, w in zip(got[2:], want[2:]):
+            err = max(err, abs(g - w))
+    return TableComparison(
+        name="Table III (delay costs, cycles)",
+        headers=("Volt", "Freq GHz", "T-Switch", "T-Wakeup", "T-Breakeven"),
+        measured_rows=measured,
+        paper_rows=PAPER_TABLE3,
+        max_abs_error=float(err),
+    )
+
+
+def table3_simulator_constants() -> tuple[tuple, ...]:
+    """The Table III constants actually used by the simulator."""
+    return tuple(
+        (m.voltage, m.freq_ghz, m.t_switch_cycles, m.t_wakeup_cycles,
+         m.t_breakeven_cycles)
+        for m in MODES
+    )
+
+
+def table4() -> TableComparison:
+    """Table IV: the reduced feature set."""
+    measured = tuple((name,) for name in REDUCED_FEATURES.names)
+    paper = tuple((name,) for name in PAPER_TABLE4)
+    err = 0.0 if len(measured) == len(paper) else float("inf")
+    return TableComparison(
+        name="Table IV (reduced feature set)",
+        headers=("Feature",),
+        measured_rows=measured,
+        paper_rows=paper,
+        max_abs_error=err,
+    )
+
+
+def table5() -> TableComparison:
+    """Table V: static power / dynamic energy per mode (DSENT, 22 nm)."""
+    measured = tuple(
+        (
+            row.mode.voltage,
+            row.mode.freq_ghz,
+            round(row.static_power_w, 4),
+            round(row.static_power_normalized, 3),
+            round(row.dynamic_energy_pj, 1),
+        )
+        for row in power_table()
+    )
+    err = 0.0
+    for got, want in zip(measured, PAPER_TABLE5):
+        err = max(err, abs(got[2] - want[2]))  # static J/s
+        err = max(err, abs(got[3] - want[3]))  # normalized
+        err = max(err, abs(got[4] - want[4]) / 100.0)  # pJ scaled
+    return TableComparison(
+        name="Table V (static power / dynamic energy)",
+        headers=("Volt", "Freq GHz", "Static J/s", "Static (cycle)", "Dyn pJ/hop"),
+        measured_rows=measured,
+        paper_rows=PAPER_TABLE5,
+        max_abs_error=err,
+    )
+
+
+ALL_TABLES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+}

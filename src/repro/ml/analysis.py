@@ -1,0 +1,161 @@
+"""Predictor diagnostics: feature importance, learning curves, calibration.
+
+Tools for understanding *why* the ridge predictor behaves as it does —
+complementing Section IV.B.1's trade-off studies:
+
+* :func:`feature_importance` — leave-one-feature-out retraining: how much
+  validation accuracy/RMSE degrades without each feature (a stronger
+  notion of importance than the paper's single-feature study, which this
+  library reproduces in :func:`repro.experiments.figures.fig9_feature_accuracy`),
+* :func:`learning_curve` — accuracy as a function of training-set size,
+  justifying the paper's 6-trace training split,
+* :func:`prediction_calibration` — per-mode-band bias of the predictor,
+  exposing the regression-to-the-mean that makes proactive models slightly
+  conservative at high utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import TrainingError
+from repro.core.thresholds import mode_index_for_utilization
+from repro.ml.metrics import mode_selection_accuracy
+from repro.ml.ridge import fit_ridge, rmse
+
+
+@dataclass(frozen=True)
+class FeatureImportance:
+    """Validation degradation when one feature is removed."""
+
+    feature: str
+    accuracy_drop: float
+    rmse_increase: float
+
+
+def feature_importance(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    feature_names: tuple[str, ...],
+    lam: float = 1e-2,
+) -> list[FeatureImportance]:
+    """Leave-one-out importance of every feature (bias included).
+
+    Retrains the ridge model with each feature column removed and reports
+    the drop in mode-selection accuracy and the rise in RMSE on the
+    validation set.  Larger values = more important.
+    """
+    x_train = np.asarray(x_train, dtype=float)
+    x_val = np.asarray(x_val, dtype=float)
+    if x_train.shape[1] != len(feature_names):
+        raise TrainingError(
+            f"{x_train.shape[1]} columns but {len(feature_names)} names"
+        )
+    full = fit_ridge(x_train, y_train, lam)
+    full_acc = mode_selection_accuracy(y_val, full.predict(x_val))
+    full_rmse = rmse(y_val, full.predict(x_val))
+
+    out = []
+    for j, name in enumerate(feature_names):
+        cols = [k for k in range(x_train.shape[1]) if k != j]
+        reduced = fit_ridge(x_train[:, cols], y_train, lam)
+        pred = reduced.predict(x_val[:, cols])
+        out.append(
+            FeatureImportance(
+                feature=name,
+                accuracy_drop=full_acc - mode_selection_accuracy(y_val, pred),
+                rmse_increase=rmse(y_val, pred) - full_rmse,
+            )
+        )
+    return sorted(out, key=lambda f: -f.accuracy_drop)
+
+
+@dataclass(frozen=True)
+class LearningCurvePoint:
+    """Validation quality at one training-set size."""
+
+    n_samples: int
+    accuracy: float
+    rmse: float
+
+
+def learning_curve(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    fractions: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0),
+    lam: float = 1e-2,
+    seed: int = 0,
+) -> list[LearningCurvePoint]:
+    """Validation accuracy vs training-set size (random subsampling)."""
+    if not fractions or any(not 0 < f <= 1 for f in fractions):
+        raise TrainingError("fractions must be in (0, 1]")
+    n = len(y_train)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    points = []
+    for frac in sorted(fractions):
+        k = max(int(round(frac * n)), 2)
+        idx = order[:k]
+        model = fit_ridge(x_train[idx], y_train[idx], lam)
+        pred = model.predict(x_val)
+        points.append(
+            LearningCurvePoint(
+                n_samples=k,
+                accuracy=mode_selection_accuracy(y_val, pred),
+                rmse=rmse(y_val, pred),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class BandCalibration:
+    """Predictor bias within one true-mode band."""
+
+    mode: int
+    n: int
+    mean_true: float
+    mean_pred: float
+
+    @property
+    def bias(self) -> float:
+        """Positive = over-prediction, negative = under-prediction."""
+        return self.mean_pred - self.mean_true
+
+
+def prediction_calibration(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> list[BandCalibration]:
+    """Mean prediction vs truth per true-mode band (3-7).
+
+    Linear regression shrinks toward the mean: expect positive bias in the
+    M3 band and negative bias in the M6/M7 bands.  Quantifying it explains
+    why proactive models lean conservative at high load.
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise TrainingError("calibration inputs have different shapes")
+    if y_true.size == 0:
+        raise TrainingError("calibration of empty arrays")
+    bands = np.array([mode_index_for_utilization(u) for u in y_true])
+    out = []
+    for mode in range(3, 8):
+        mask = bands == mode
+        if not mask.any():
+            continue
+        out.append(
+            BandCalibration(
+                mode=mode,
+                n=int(mask.sum()),
+                mean_true=float(y_true[mask].mean()),
+                mean_pred=float(y_pred[mask].mean()),
+            )
+        )
+    return out

@@ -1,0 +1,53 @@
+"""Model-quality metrics, including the paper's mode-selection accuracy.
+
+Section IV.B.1: "Mode selection accuracy is defined as the total number of
+accurate mode selections divided by all accurate and inaccurate mode
+selections ... As long as both [the predicted label and the real future
+utilization] would lead to the same mode being selected, the selection was
+considered to be accurate."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import TrainingError
+from repro.core.thresholds import mode_index_for_utilization
+
+
+def mode_selection_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of samples where prediction and truth pick the same mode."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise TrainingError("inputs have different shapes")
+    if y_true.size == 0:
+        raise TrainingError("mode selection accuracy of empty arrays")
+    true_modes = np.array([mode_index_for_utilization(u) for u in y_true])
+    pred_modes = np.array([mode_index_for_utilization(u) for u in y_pred])
+    return float(np.mean(true_modes == pred_modes))
+
+
+def mode_confusion(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """5x5 confusion matrix over modes 3-7 (rows: truth, cols: predicted)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape:
+        raise TrainingError("inputs have different shapes")
+    out = np.zeros((5, 5), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        out[mode_index_for_utilization(t) - 3, mode_index_for_utilization(p) - 3] += 1
+    return out
+
+
+def r_squared(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination of the regression."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.size < 2:
+        raise TrainingError("R^2 needs at least two samples")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

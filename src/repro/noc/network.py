@@ -1,0 +1,71 @@
+"""Network assembly: routers + links + network interfaces from a config.
+
+Builds the router array for a topology, precomputes the link table (output
+port -> neighbour router -> opposite input port) and the core->router map,
+and splits a :class:`~repro.traffic.trace.Trace` into per-router injection
+queues (each router's NI sees only its own cores' entries, time-sorted).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SimConfig
+from repro.common.errors import ConfigError
+from repro.core.modes import Mode
+from repro.noc.router import Router
+from repro.noc.topology import OPPOSITE, GridTopology, make_topology
+from repro.traffic.trace import Trace
+
+
+class Network:
+    """The assembled NoC: routers, link table, and NI injection queues."""
+
+    def __init__(self, config: SimConfig, initial_mode: Mode) -> None:
+        self.config = config
+        self.topology: GridTopology = make_topology(
+            config.topology, config.radix, config.concentration
+        )
+        self.routers = [
+            Router(rid, config.buffer_depth, initial_mode)
+            for rid in range(self.topology.num_routers)
+        ]
+        #: Per-router list of (out_port, neighbor_rid, opposite_in_port).
+        self.links: list[list[tuple[int, int, int]]] = []
+        for rid in range(self.topology.num_routers):
+            entries = [
+                (port, nbr, OPPOSITE[port])
+                for port, nbr in self.topology.neighbors(rid)
+            ]
+            self.links.append(entries)
+            self.routers[rid].neighbor_ids = [nbr for _, nbr, _ in entries]
+        #: core -> router lookup (plain list for speed).
+        self.core_router = [
+            self.topology.router_of_core(c) for c in range(self.topology.num_cores)
+        ]
+        #: Router grid coordinates for inline XY routing.
+        self.coord_x = [self.topology.coords(r)[0] for r in range(len(self.routers))]
+        self.coord_y = [self.topology.coords(r)[1] for r in range(len(self.routers))]
+
+    def load_trace(self, trace: Trace) -> int:
+        """Distribute trace entries to per-router NI queues.
+
+        Returns the number of entries loaded.  Raises if the trace's core
+        count does not match the topology.
+        """
+        if trace.num_cores != self.topology.num_cores:
+            raise ConfigError(
+                f"trace has {trace.num_cores} cores but the "
+                f"{self.config.topology} topology has {self.topology.num_cores}"
+            )
+        queues: list[list[tuple[float, int, int, int]]] = [
+            [] for _ in self.routers
+        ]
+        core_router = self.core_router
+        for src, dst, kind, t in zip(
+            trace.src, trace.dst, trace.kind, trace.t_ns
+        ):
+            queues[core_router[src]].append((float(t), int(src), int(dst), int(kind)))
+        for router, queue in zip(self.routers, queues):
+            queue.sort(key=lambda e: e[0])
+            router.inject_queue = queue
+            router.inject_pos = 0
+        return len(trace)

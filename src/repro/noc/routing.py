@@ -1,0 +1,66 @@
+"""XY dimension-order routing with look-ahead (Section III.A).
+
+DozzNoC routes with deterministic XY DOR: packets first correct their X
+coordinate (east/west), then Y (north/south), then eject.  XY DOR is
+deadlock-free on the mesh and — crucially for the partially non-blocking
+power-gating scheme — makes the *downstream* router of any buffered packet
+statically known one hop ahead, so it can be secured (kept on) or woken
+before the packet needs to cross it.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import RoutingError
+from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, GridTopology
+
+
+def xy_output_port(topology: GridTopology, router: int, dst_router: int) -> int:
+    """Output port chosen by XY DOR at ``router`` for ``dst_router``."""
+    if router == dst_router:
+        return LOCAL
+    x, y = topology.coords(router)
+    dx, dy = topology.coords(dst_router)
+    if x < dx:
+        return EAST
+    if x > dx:
+        return WEST
+    if y < dy:
+        return SOUTH
+    return NORTH
+
+
+def next_router(topology: GridTopology, router: int, dst_router: int) -> int | None:
+    """Look-ahead: the next router on the XY path, or ``None`` if ejecting.
+
+    This is the "downstream router" of Section III.B — the router that the
+    power-gating scheme must secure (prevent from sleeping, or wake) while
+    the packet sits at ``router``.
+    """
+    port = xy_output_port(topology, router, dst_router)
+    if port == LOCAL:
+        return None
+    nxt = topology.neighbor(router, port)
+    if nxt is None:
+        raise RoutingError(
+            f"XY routing fell off the mesh at router {router} "
+            f"toward {dst_router} via port {port}"
+        )
+    return nxt
+
+
+def xy_path(topology: GridTopology, src_router: int, dst_router: int) -> list[int]:
+    """The full XY route as a router list, ``src`` and ``dst`` inclusive."""
+    path = [src_router]
+    cur = src_router
+    limit = 2 * topology.radix + 2
+    while cur != dst_router:
+        nxt = next_router(topology, cur, dst_router)
+        if nxt is None:
+            break
+        path.append(nxt)
+        cur = nxt
+        if len(path) > limit:
+            raise RoutingError(
+                f"XY path from {src_router} to {dst_router} did not converge"
+            )
+    return path

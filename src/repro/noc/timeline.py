@@ -1,0 +1,141 @@
+"""Time-series instrumentation: the network's state sampled over time.
+
+DozzNoC's goal is *energy proportionality*: power should track the
+bandwidth demand as it rises and falls with the application's phases.
+:class:`TimelineSampler` records a periodic snapshot of global network
+state — powered/gated router counts, mean buffer utilization, per-mode
+router counts, instantaneous static power — so that proportionality can be
+seen (and asserted) over time rather than only in end-of-run totals.
+
+The sampler piggybacks on the simulation kernel: pass one to
+:class:`~repro.noc.simulator.Simulator` and it samples every
+``interval_ns`` of simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.states import PowerState
+from repro.power.dsent import static_power_w
+
+
+@dataclass
+class TimelineSample:
+    """One snapshot of global network state."""
+
+    t_ns: float
+    active_routers: int
+    waking_routers: int
+    gated_routers: int
+    mean_ibu: float
+    static_power_w: float
+    mode_counts: dict[int, int]
+    packets_in_flight: int
+
+
+@dataclass
+class TimelineSampler:
+    """Collects :class:`TimelineSample` rows at a fixed simulated period."""
+
+    interval_ns: float = 100.0
+    samples: list[TimelineSample] = field(default_factory=list)
+    _next_t: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+
+    def maybe_sample(self, sim) -> None:
+        """Take a snapshot if the sampling period has elapsed."""
+        if sim.now_ns < self._next_t:
+            return
+        self._next_t = sim.now_ns + self.interval_ns
+        self.samples.append(self._snapshot(sim))
+
+    def _snapshot(self, sim) -> TimelineSample:
+        active = waking = gated = 0
+        power = 0.0
+        occ = 0.0
+        mode_counts = {m: 0 for m in range(3, 8)}
+        for r in sim.network.routers:
+            if r.state is PowerState.INACTIVE:
+                gated += 1
+            else:
+                power += static_power_w(r.mode.voltage)
+                if r.state is PowerState.WAKEUP:
+                    waking += 1
+                else:
+                    active += 1
+                    mode_counts[r.mode.index] += 1
+            occ += r.occupancy_fraction()
+        n = len(sim.network.routers)
+        return TimelineSample(
+            t_ns=sim.now_ns,
+            active_routers=active,
+            waking_routers=waking,
+            gated_routers=gated,
+            mean_ibu=occ / n,
+            static_power_w=power,
+            mode_counts=mode_counts,
+            packets_in_flight=sim.packets_live,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Columns (for plotting / assertions)
+    # ------------------------------------------------------------------ #
+
+    def column(self, name: str) -> np.ndarray:
+        """Extract one sample field as an array (e.g. ``"static_power_w"``)."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return np.array([getattr(s, name) for s in self.samples])
+
+    def proportionality(self) -> float:
+        """Correlation between demand (mean IBU) and static power.
+
+        The closer to 1.0, the more energy-proportional the run: power
+        rises and falls with the network's utilization.  Returns NaN when
+        either signal is constant.
+        """
+        ibu = self.column("mean_ibu")
+        power = self.column("static_power_w")
+        if (
+            len(ibu) < 3
+            or ibu.std() <= 1e-9 * max(abs(float(ibu.mean())), 1e-12)
+            or power.std() <= 1e-9 * max(abs(float(power.mean())), 1e-12)
+        ):
+            return float("nan")
+        return float(np.corrcoef(ibu, power)[0, 1])
+
+    def render_ascii(self, height: int = 8, width: int = 72) -> str:
+        """Plot gated-router count and mean IBU over time as ASCII art."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        t = self.column("t_ns")
+        gated = self.column("gated_routers")
+        ibu = self.column("mean_ibu")
+        first = self.samples[0]
+        n_routers = (
+            first.active_routers + first.waking_routers + first.gated_routers
+        )
+        rows = []
+        for series, label, hi in (
+            (gated, "gated routers", max(float(n_routers), 1.0)),
+            (ibu, "mean IBU", max(float(ibu.max()), 1e-9)),
+        ):
+            idx = np.linspace(0, len(series) - 1, width).astype(int)
+            vals = series[idx]
+            grid = []
+            for level in range(height, 0, -1):
+                thresh = hi * (level - 0.5) / height
+                grid.append(
+                    "".join("#" if v >= thresh else " " for v in vals)
+                )
+            rows.append(f"{label} (0..{hi:g})")
+            rows.extend("|" + g + "|" for g in grid)
+            rows.append("+" + "-" * width + "+")
+        rows.append(f"time: 0 .. {t[-1]:.0f} ns ({len(self.samples)} samples)")
+        return "\n".join(rows)

@@ -1,0 +1,34 @@
+"""Power and energy modeling (Table V + run-time accounting).
+
+* :mod:`repro.power.dsent` — analytic DSENT-calibrated cost model: static
+  power and per-hop dynamic energy as functions of supply voltage, plus the
+  ML-overhead constants from Section III.D.
+* :mod:`repro.power.accounting` — :class:`EnergyAccountant`, the per-router
+  energy ledger driven by the simulation kernel.
+"""
+
+from repro.power.dsent import (
+    I_LEAK_A,
+    C_HOP_PF,
+    ML_LABEL_ENERGY_5FEAT_PJ,
+    ML_LABEL_ENERGY_41FEAT_PJ,
+    static_power_w,
+    dynamic_energy_pj,
+    static_power_normalized,
+    PowerTableRow,
+    power_table,
+)
+from repro.power.accounting import EnergyAccountant
+
+__all__ = [
+    "I_LEAK_A",
+    "C_HOP_PF",
+    "ML_LABEL_ENERGY_5FEAT_PJ",
+    "ML_LABEL_ENERGY_41FEAT_PJ",
+    "static_power_w",
+    "dynamic_energy_pj",
+    "static_power_normalized",
+    "PowerTableRow",
+    "power_table",
+    "EnergyAccountant",
+]

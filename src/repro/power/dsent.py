@@ -1,0 +1,84 @@
+"""DSENT-style router+link power characterization (Table V).
+
+The paper obtains per-mode costs from DSENT at 22 nm with 128-bit flits for
+a concentrated-mesh router (the worst case, used for both topologies).
+Table V is exactly reproduced by two textbook CMOS scaling laws:
+
+* **static power** scales linearly with supply voltage at fixed leakage
+  current: ``P_static = I_LEAK_A * V`` with ``I_LEAK_A = 45 mA``
+  (0.036 J/s at 0.8 V ... 0.054 J/s at 1.2 V — every Table V entry to the
+  printed precision),
+* **dynamic energy per hop** scales with ``C V^2``:
+  ``E_dyn = C_HOP_PF * V^2`` with ``C_HOP_PF = 39.24 pF``
+  (25.1 pJ at 0.8 V ... 56.5 pJ at 1.2 V).
+
+Table V's "Static Power (Cycle)" column is the per-mode static power
+normalized to the highest mode, i.e. ``V / 1.2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.modes import MODES, MODE_MAX, Mode
+
+#: Effective leakage current of one router + outgoing links (amperes).
+#: Calibrated so P_static(1.0 V) = 0.045 J/s (Table V).
+I_LEAK_A = 0.045
+
+#: Effective switched capacitance per flit-hop (router + link), picofarads.
+#: Calibrated so E_dyn(1.0 V) = 39.2 pJ/hop (Table V).
+C_HOP_PF = 39.24
+
+#: Energy overhead to compute one ML label with the reduced 5-feature set:
+#: 5 multiplies (1.1 pJ) + 4 adds (0.4 pJ) = 7.1 pJ (Section III.D).
+ML_LABEL_ENERGY_5FEAT_PJ = 5 * 1.1 + 4 * 0.4
+
+#: Energy overhead with the original 41-feature set (Section III.D).
+ML_LABEL_ENERGY_41FEAT_PJ = 61.1
+
+#: Area overheads from Section III.D (mm^2), for reporting.
+ML_LABEL_AREA_5FEAT_MM2 = 0.013
+ML_LABEL_AREA_41FEAT_MM2 = 0.122
+
+
+def static_power_w(voltage: float, i_leak_a: float = I_LEAK_A) -> float:
+    """Static (leakage) power of a router + its outgoing links, in watts."""
+    if voltage < 0:
+        raise ValueError("voltage must be non-negative")
+    return i_leak_a * voltage
+
+
+def dynamic_energy_pj(voltage: float, c_hop_pf: float = C_HOP_PF) -> float:
+    """Dynamic energy to hop one flit across the router + a link, in pJ."""
+    if voltage < 0:
+        raise ValueError("voltage must be non-negative")
+    return c_hop_pf * voltage * voltage
+
+
+def static_power_normalized(voltage: float) -> float:
+    """Table V's "Static Power (Cycle)" column: fraction of mode-7 power."""
+    return static_power_w(voltage) / static_power_w(MODE_MAX.voltage)
+
+
+@dataclass(frozen=True)
+class PowerTableRow:
+    """One Table V row."""
+
+    mode: Mode
+    static_power_w: float
+    static_power_normalized: float
+    dynamic_energy_pj: float
+
+
+def power_table() -> list[PowerTableRow]:
+    """Regenerate Table V for the five active modes."""
+    return [
+        PowerTableRow(
+            mode=m,
+            static_power_w=static_power_w(m.voltage),
+            static_power_normalized=static_power_normalized(m.voltage),
+            dynamic_energy_pj=dynamic_energy_pj(m.voltage),
+        )
+        for m in MODES
+    ]

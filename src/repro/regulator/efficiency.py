@@ -1,0 +1,116 @@
+"""Power-delivery efficiency model (Figure 6, Section II/III.C).
+
+A linear (LDO) stage burns the dropout: its efficiency is at best
+``vout / vin``.  The paper's motivating numbers — an LDO fed from a fixed
+1.2 V rail falls from 92 % efficiency at 1.1 V out to 67 % at 0.8 V out —
+pin down a small fixed loss (quiescent current) on top of the dropout loss.
+We model
+
+``eta_ldo(vin, vout) = (vout / vin) * ETA_LDO_INTRINSIC``
+
+with :data:`ETA_LDO_INTRINSIC` calibrated from those two anchors, and a
+switching-stage efficiency for the SIMO converter in front of it.
+
+Two systems are compared, exactly as Fig 6 does:
+
+* **baseline array**: every LDO fed from the fixed 1.2 V battery rail,
+* **SIMO design**: each LDO fed from the lowest adequate SIMO rail
+  (0.9 / 1.1 / 1.2 V), so dropout never exceeds 100 mV.
+
+The SIMO system stays above 87 % across the DVFS range, with an average
+improvement around 15 % and a maximum near 25 % at 0.9 V out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.modes import VOLTAGES
+from repro.regulator.simo import SIMO_RAILS, rail_for
+
+#: LDO intrinsic efficiency (quiescent / ground-current loss).  The paper's
+#: anchors (92 % at 1.1 V from 1.2 V; 67 % at 0.8 V from 1.2 V) are rounded
+#: slightly above the pure-dropout bound ``vout/vin``, so we use a small
+#: 0.5 % quiescent loss: both anchors are then reproduced within ~1 point
+#: (91.2 % and 66.3 %).
+ETA_LDO_INTRINSIC = 0.995
+
+#: SIMO switching-stage efficiency (time-multiplexed buck, DCM).
+ETA_SIMO_STAGE = 0.985
+
+#: Battery / input rail of the whole power-delivery system (volts).
+V_BATTERY = 1.2
+
+
+def ldo_efficiency(vin: float, vout: float, eta_intrinsic: float = ETA_LDO_INTRINSIC) -> float:
+    """Efficiency of a single LDO: dropout loss times intrinsic loss."""
+    if vout > vin + 1e-12:
+        raise ValueError(f"LDO cannot boost: vout {vout} > vin {vin}")
+    if vin <= 0:
+        raise ValueError("vin must be positive")
+    return (vout / vin) * eta_intrinsic
+
+
+def baseline_efficiency(vout: float) -> float:
+    """System efficiency of the conventional array: LDO from the 1.2 V rail."""
+    return ldo_efficiency(V_BATTERY, vout)
+
+
+def simo_efficiency(vout: float, rails: tuple[float, ...] = SIMO_RAILS) -> float:
+    """System efficiency of the SIMO design: SIMO stage + low-dropout LDO."""
+    vin = rail_for(vout, rails)
+    return ETA_SIMO_STAGE * ldo_efficiency(vin, vout)
+
+
+@dataclass(frozen=True)
+class EfficiencyComparison:
+    """Figure 6 data: efficiency of both systems across output voltages."""
+
+    voltages: np.ndarray
+    baseline: np.ndarray
+    simo: np.ndarray
+
+    @property
+    def improvement(self) -> np.ndarray:
+        """Percentage-point efficiency gain of SIMO over the baseline array."""
+        return self.simo - self.baseline
+
+    @property
+    def average_improvement(self) -> float:
+        """Mean percentage-point gain across the sweep."""
+        return float(self.improvement.mean())
+
+    @property
+    def max_improvement(self) -> float:
+        """Largest percentage-point gain (paper: almost 25 % at 0.9 V)."""
+        return float(self.improvement.max())
+
+    @property
+    def average_improvement_low_range(self) -> float:
+        """Mean gain over outputs below the battery rail.
+
+        The paper quotes "an average power efficiency improvement of 15 % at
+        four various points of comparison" — the four DVFS levels below
+        1.2 V, where the SIMO rails actually reduce dropout.
+        """
+        mask = self.voltages < V_BATTERY - 1e-9
+        if not mask.any():
+            raise ValueError("sweep contains no voltages below the battery rail")
+        return float(self.improvement[mask].mean())
+
+    @property
+    def min_simo_efficiency(self) -> float:
+        """Worst-case SIMO system efficiency (paper: above 87 %)."""
+        return float(self.simo.min())
+
+
+def compare_efficiency(
+    voltages: tuple[float, ...] | np.ndarray = VOLTAGES,
+) -> EfficiencyComparison:
+    """Sweep output voltages and compare both power-delivery systems."""
+    v = np.asarray(voltages, dtype=float)
+    base = np.array([baseline_efficiency(x) for x in v])
+    simo = np.array([simo_efficiency(x) for x in v])
+    return EfficiencyComparison(voltages=v, baseline=base, simo=simo)

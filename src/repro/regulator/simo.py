@@ -1,0 +1,95 @@
+"""Single-inductor multiple-output (SIMO) converter model.
+
+The SIMO stage (Fig 4b) supplies three rails **simultaneously** from one
+inductor using time-multiplexing control: 0.9 V, 1.1 V and 1.2 V.  Each
+router's LDO muxes its input among those rails so that the LDO dropout
+never exceeds 100 mV (Table I), which is what keeps the linear stage's
+efficiency high across the whole 0.8-1.2 V DVFS range.
+
+This module provides rail selection, dropout computation, the Table I
+dropout-range summary, and the component-count/area argument from the text
+(5 power switches vs 6 for the conventional array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.modes import VOLTAGES
+
+#: The three SIMO output rails feeding the per-router LDO mux (volts).
+SIMO_RAILS: tuple[float, ...] = (0.9, 1.1, 1.2)
+
+#: Maximum allowed LDO dropout with correct rail selection (volts).
+MAX_DROPOUT_V = 0.100
+
+#: On-chip power-switch counts (Section III.C): the SIMO design needs one
+#: switch per rail plus the two inductor-side switches; the conventional
+#: switching-regulator/LDO array needs one more.
+SIMO_POWER_SWITCHES = 5
+CONVENTIONAL_POWER_SWITCHES = 6
+
+
+@dataclass(frozen=True)
+class DropoutRow:
+    """One row of Table I: a rail and the output/dropout ranges it serves."""
+
+    vin: float
+    vout_min: float
+    vout_max: float
+
+    @property
+    def dropout_min(self) -> float:
+        """Smallest dropout across the served output range."""
+        return round(self.vin - self.vout_max, 6)
+
+    @property
+    def dropout_max(self) -> float:
+        """Largest dropout across the served output range."""
+        return round(self.vin - self.vout_min, 6)
+
+
+def rail_for(vout: float, rails: tuple[float, ...] = SIMO_RAILS) -> float:
+    """Pick the lowest SIMO rail that can serve ``vout``.
+
+    The LDO needs ``vin >= vout``; choosing the *lowest* adequate rail
+    minimizes dropout and hence maximizes efficiency.
+    """
+    candidates = [r for r in rails if r >= vout - 1e-12]
+    if not candidates:
+        raise ValueError(
+            f"no SIMO rail can supply {vout} V (rails: {sorted(rails)})"
+        )
+    return min(candidates)
+
+
+def dropout_for(vout: float, rails: tuple[float, ...] = SIMO_RAILS) -> float:
+    """LDO dropout (``vin - vout``) with optimal rail selection."""
+    return max(0.0, rail_for(vout, rails) - vout)
+
+
+def dropout_table(
+    voltages: tuple[float, ...] = VOLTAGES,
+    rails: tuple[float, ...] = SIMO_RAILS,
+) -> list[DropoutRow]:
+    """Regenerate Table I: per-rail output-voltage and dropout ranges.
+
+    Groups the DVFS voltage levels by the rail that serves them and reports
+    each rail's served output range and resulting dropout range.
+    """
+    by_rail: dict[float, list[float]] = {}
+    for v in voltages:
+        by_rail.setdefault(rail_for(v, rails), []).append(v)
+    rows = [
+        DropoutRow(vin=rail, vout_min=min(vs), vout_max=max(vs))
+        for rail, vs in sorted(by_rail.items())
+    ]
+    return rows
+
+
+def max_dropout(
+    voltages: tuple[float, ...] = VOLTAGES,
+    rails: tuple[float, ...] = SIMO_RAILS,
+) -> float:
+    """Worst-case dropout across all DVFS levels (paper: 100 mV)."""
+    return max(dropout_for(v, rails) for v in voltages)

@@ -1,0 +1,207 @@
+"""Time-multiplexed SIMO converter dynamics (Fig 4b; Ma et al., JSSC 2003).
+
+The single-inductor multiple-output converter serves its three rails by
+time-multiplexing one inductor in discontinuous conduction mode (DCM):
+each switching period the inductor is energized from the battery
+(``V_BAT`` across ``L`` for ``d1*T``), then freewheels into *one* rail
+(``V_BAT - V_rail`` falling slope until the current returns to zero), and
+rails take turns round-robin.  This module simulates that current/voltage
+behaviour explicitly:
+
+* per-rail output capacitors are discharged by their load current and
+  recharged by their inductor slot — producing the output **ripple** that
+  bounds how small the LDO dropout margin can be,
+* conduction/switching losses give a first-principles converter
+  efficiency, which multiplies the LDO stage efficiency in
+  :mod:`repro.regulator.efficiency` (whose fitted ``ETA_SIMO_STAGE``
+  constant this model justifies).
+
+The component values are representative of an on-chip power-delivery
+design at the paper's scale (tens of mA per rail, MHz multiplexing).  With
+the defaults the converter runs at ~98 % efficiency with ~12 mV output
+ripple — comfortably inside the 100 mV LDO dropout margin of Table I, and
+consistent with the fitted 98.5 % stage efficiency used by Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.regulator.simo import SIMO_RAILS
+
+#: Battery / input voltage (V).
+V_BAT = 3.0
+
+#: Inductance (H) and per-rail output capacitance (F).
+L_H = 0.25e-6
+C_OUT_F = 1.0e-6
+
+#: Switching frequency of the time-multiplex scheme (Hz).
+F_SW_HZ = 3.0e6
+
+#: Parasitics: inductor/switch series resistance and per-cycle switching
+#: charge loss (gate drive + CV^2), lumped.
+R_SERIES_OHM = 0.05
+SWITCH_LOSS_J_PER_CYCLE = 0.6e-9
+
+
+@dataclass
+class SimoTransientResult:
+    """Sampled waveforms from a SIMO transient simulation."""
+
+    t_s: np.ndarray
+    inductor_current_a: np.ndarray
+    rail_voltages: dict[float, np.ndarray]
+    efficiency: float
+    ripple_v: dict[float, float] = field(default_factory=dict)
+
+    def max_ripple_v(self) -> float:
+        """Worst peak-to-peak output ripple across rails."""
+        return max(self.ripple_v.values())
+
+
+class SimoConverter:
+    """Behavioural time-multiplexed SIMO buck in DCM."""
+
+    def __init__(
+        self,
+        rails: tuple[float, ...] = SIMO_RAILS,
+        load_a: float = 0.04,
+        v_bat: float = V_BAT,
+        l_h: float = L_H,
+        c_out_f: float = C_OUT_F,
+        f_sw_hz: float = F_SW_HZ,
+    ) -> None:
+        if not rails:
+            raise ValueError("need at least one rail")
+        if any(v <= 0 or v >= v_bat for v in rails):
+            raise ValueError("rail voltages must lie in (0, v_bat)")
+        if min(load_a, l_h, c_out_f, f_sw_hz) <= 0:
+            raise ValueError("physical parameters must be positive")
+        self.rails = tuple(rails)
+        self.load_a = load_a
+        self.v_bat = v_bat
+        self.l_h = l_h
+        self.c_out_f = c_out_f
+        self.f_sw_hz = f_sw_hz
+
+    # ------------------------------------------------------------------ #
+    # Per-slot energetics (closed-form DCM triangle)
+    # ------------------------------------------------------------------ #
+
+    def required_peak_current(self, v_rail: float) -> float:
+        """Peak inductor current so one slot carries the rail's load.
+
+        In a SIMO buck the inductor current flows into the selected output
+        during *both* phases of its slot, delivering the triangle charge
+        ``Q = I_pk^2 * L * v_bat / (2 * v_rail * (v_bat - v_rail))``; each
+        rail gets one slot per multiplex period, so Q must equal
+        ``load / f_sw``.
+        """
+        q_needed = self.load_a / self.f_sw_hz
+        k = self.l_h * self.v_bat / (2 * v_rail * (self.v_bat - v_rail))
+        return float(np.sqrt(q_needed / k))
+
+    def slot_times(self, v_rail: float) -> tuple[float, float]:
+        """(energize, freewheel) durations for one rail's slot (seconds)."""
+        i_pk = self.required_peak_current(v_rail)
+        t_rise = i_pk * self.l_h / (self.v_bat - v_rail)
+        t_fall = i_pk * self.l_h / v_rail
+        return t_rise, t_fall
+
+    def check_dcm(self) -> bool:
+        """Whether all slots fit in the multiplex period (valid DCM)."""
+        period = 1.0 / self.f_sw_hz
+        total = sum(sum(self.slot_times(v)) for v in self.rails)
+        return total <= period
+
+    # ------------------------------------------------------------------ #
+    # Transient simulation
+    # ------------------------------------------------------------------ #
+
+    def simulate(
+        self, duration_s: float = 20e-6, samples_per_slot: int = 24
+    ) -> SimoTransientResult:
+        """Simulate the multiplexed converter and measure ripple/efficiency.
+
+        Piecewise-linear inductor current (exact for ideal DCM) with the
+        series-resistance conduction loss and per-cycle switching loss
+        integrated alongside.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if not self.check_dcm():
+            raise ValueError(
+                "slots exceed the switching period; lower the load or raise "
+                "f_sw (continuous conduction is not modelled)"
+            )
+        period = 1.0 / self.f_sw_hz
+        t_list: list[float] = []
+        i_list: list[float] = []
+        v_hist: dict[float, list[float]] = {v: [] for v in self.rails}
+        v_now = {v: float(v) for v in self.rails}
+
+        energy_out = 0.0
+        energy_loss = 0.0
+        t = 0.0
+        while t < duration_s:
+            cycle_start = t
+            for rail in self.rails:
+                i_pk = self.required_peak_current(rail)
+                t_rise, t_fall = self.slot_times(rail)
+                for phase_len, slope_sign in ((t_rise, 1), (t_fall, -1)):
+                    ts = np.linspace(0, phase_len, samples_per_slot,
+                                     endpoint=False)
+                    cur = (
+                        ts / t_rise * i_pk
+                        if slope_sign > 0
+                        else i_pk * (1 - ts / t_fall)
+                    )
+                    t_list.extend(t + ts)
+                    i_list.extend(cur)
+                    # Conduction loss: integral of i^2 R.
+                    energy_loss += float(np.mean(cur**2)) * R_SERIES_OHM * phase_len
+                    # The triangle charge of each phase lands on the rail.
+                    v_now[rail] += 0.5 * i_pk * phase_len / self.c_out_f
+                    for v in self.rails:
+                        v_hist[v].extend(
+                            [v_now[v] - self.load_a * dt / self.c_out_f
+                             for dt in ts]
+                        )
+                    for v in self.rails:
+                        v_now[v] -= self.load_a * phase_len / self.c_out_f
+                    t += phase_len
+            energy_loss += SWITCH_LOSS_J_PER_CYCLE
+            # Idle remainder of the period: loads keep draining.
+            rest = max(cycle_start + period - t, 0.0)
+            if rest > 0:
+                ts = np.linspace(0, rest, samples_per_slot, endpoint=False)
+                t_list.extend(t + ts)
+                i_list.extend(np.zeros_like(ts))
+                for v in self.rails:
+                    v_hist[v].extend(
+                        [v_now[v] - self.load_a * dt / self.c_out_f
+                         for dt in ts]
+                    )
+                    v_now[v] -= self.load_a * rest / self.c_out_f
+                t += rest
+            energy_out += sum(
+                v * self.load_a * period for v in self.rails
+            )
+
+        rail_v = {v: np.array(v_hist[v]) for v in self.rails}
+        # Ripple measured after initial settling (skip the first quarter).
+        ripple = {}
+        for v, arr in rail_v.items():
+            tail = arr[len(arr) // 4:]
+            ripple[v] = float(tail.max() - tail.min())
+        efficiency = energy_out / (energy_out + energy_loss)
+        return SimoTransientResult(
+            t_s=np.array(t_list),
+            inductor_current_a=np.array(i_list),
+            rail_voltages=rail_v,
+            efficiency=efficiency,
+            ripple_v=ripple,
+        )

@@ -1,0 +1,138 @@
+"""Classic synthetic destination patterns.
+
+These are the standard NoC evaluation patterns (uniform random, transpose,
+bit-complement, tornado, hotspot, nearest-neighbour).  They are used by unit
+tests, examples and the benchmark-signature generators in
+:mod:`repro.traffic.benchmarks` (which mix a pattern with a temporal model).
+
+Every pattern is a function ``(src_core, num_cores, rng) -> dst_core`` with
+``dst != src`` guaranteed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.common.errors import TrafficError
+from repro.traffic.trace import KIND_REQUEST, Trace
+
+PatternFn = Callable[[int, int, np.random.Generator], int]
+
+
+def _grid_side(num_cores: int) -> int:
+    side = int(round(math.sqrt(num_cores)))
+    if side * side != num_cores:
+        raise TrafficError(
+            f"pattern requires a square core count, got {num_cores}"
+        )
+    return side
+
+
+def uniform(src: int, num_cores: int, rng: np.random.Generator) -> int:
+    """Uniformly random destination, excluding self."""
+    dst = int(rng.integers(num_cores - 1))
+    return dst if dst < src else dst + 1
+
+
+def transpose(src: int, num_cores: int, rng: np.random.Generator) -> int:
+    """Matrix-transpose: core (x, y) sends to (y, x); diagonal falls back."""
+    side = _grid_side(num_cores)
+    x, y = src % side, src // side
+    dst = x * side + y
+    return dst if dst != src else uniform(src, num_cores, rng)
+
+def bit_complement(src: int, num_cores: int, rng: np.random.Generator) -> int:
+    """Bit-complement: destination is the bitwise complement of the source."""
+    bits = max(1, (num_cores - 1).bit_length())
+    dst = (~src) & ((1 << bits) - 1)
+    if dst >= num_cores or dst == src:
+        return uniform(src, num_cores, rng)
+    return dst
+
+
+def tornado(src: int, num_cores: int, rng: np.random.Generator) -> int:
+    """Tornado: each core sends halfway around its row."""
+    side = _grid_side(num_cores)
+    x, y = src % side, src // side
+    dst = ((x + side // 2) % side) + y * side
+    return dst if dst != src else uniform(src, num_cores, rng)
+
+
+def neighbor(src: int, num_cores: int, rng: np.random.Generator) -> int:
+    """Nearest-neighbour: send to the next core in the row (wrapping)."""
+    side = _grid_side(num_cores)
+    x, y = src % side, src // side
+    return ((x + 1) % side) + y * side
+
+
+class _Hotspot:
+    """Hotspot pattern: a fraction of traffic targets a few hot cores."""
+
+    def __init__(self, hot_fraction: float = 0.3, num_hot: int = 4) -> None:
+        if not 0 <= hot_fraction <= 1:
+            raise TrafficError("hot_fraction must be in [0, 1]")
+        if num_hot < 1:
+            raise TrafficError("num_hot must be >= 1")
+        self.hot_fraction = hot_fraction
+        self.num_hot = num_hot
+
+    def __call__(self, src: int, num_cores: int, rng: np.random.Generator) -> int:
+        n_hot = min(self.num_hot, num_cores - 1)
+        if rng.random() < self.hot_fraction:
+            # Hot cores are spread across the die deterministically.
+            hot = (int(rng.integers(n_hot)) * (num_cores // n_hot)) % num_cores
+            if hot != src:
+                return hot
+        return uniform(src, num_cores, rng)
+
+
+def hotspot(hot_fraction: float = 0.3, num_hot: int = 4) -> PatternFn:
+    """Build a hotspot pattern callable."""
+    return _Hotspot(hot_fraction, num_hot)
+
+
+#: Name -> pattern registry for the CLI and examples.
+PATTERNS: dict[str, PatternFn] = {
+    "uniform": uniform,
+    "transpose": transpose,
+    "bit_complement": bit_complement,
+    "tornado": tornado,
+    "neighbor": neighbor,
+    "hotspot": hotspot(),
+}
+
+
+def generate_pattern_trace(
+    pattern: str | PatternFn,
+    num_cores: int,
+    duration_ns: float,
+    rate_per_core_ns: float,
+    seed: int = 0,
+    name: str | None = None,
+) -> Trace:
+    """Generate a Poisson-injection trace with a synthetic pattern.
+
+    Each core injects requests as a Poisson process with the given mean
+    rate (packets per ns per core); destinations follow ``pattern``.
+    """
+    if duration_ns <= 0:
+        raise TrafficError("duration_ns must be positive")
+    if rate_per_core_ns < 0:
+        raise TrafficError("rate_per_core_ns must be non-negative")
+    fn = PATTERNS[pattern] if isinstance(pattern, str) else pattern
+    rng = np.random.default_rng(seed)
+    entries: list[tuple[int, int, int, float]] = []
+    for core in range(num_cores):
+        t = 0.0
+        while True:
+            if rate_per_core_ns == 0:
+                break
+            t += rng.exponential(1.0 / rate_per_core_ns)
+            if t >= duration_ns:
+                break
+            entries.append((core, fn(core, num_cores, rng), KIND_REQUEST, t))
+    label = name or (pattern if isinstance(pattern, str) else "pattern")
+    return Trace.from_entries(entries, num_cores, label)

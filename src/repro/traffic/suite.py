@@ -1,0 +1,76 @@
+"""The 14-trace evaluation suite (Section IV.A).
+
+Convenience constructors for the paper's train / validation / test split
+(6 / 3 / 5 traces) with optional compression, plus an on-disk cache so
+repeated experiment runs reuse identical trace files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.traffic.benchmarks import (
+    BENCHMARKS,
+    TEST_BENCHMARKS,
+    TRAIN_BENCHMARKS,
+    VALIDATION_BENCHMARKS,
+    generate_benchmark_trace,
+)
+from repro.traffic.compression import compress_trace
+from repro.traffic.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceSuite:
+    """The full benchmark suite, split as the paper splits it."""
+
+    train: tuple[Trace, ...]
+    validation: tuple[Trace, ...]
+    test: tuple[Trace, ...]
+
+    @property
+    def all_traces(self) -> tuple[Trace, ...]:
+        """All 14 traces, train + validation + test order."""
+        return self.train + self.validation + self.test
+
+
+def build_suite(
+    num_cores: int = 64,
+    duration_ns: float = 20_000.0,
+    seed: int = 0,
+    compressed: bool = False,
+    cache_dir: str | Path | None = None,
+) -> TraceSuite:
+    """Generate (or load from cache) the 14-benchmark suite.
+
+    Parameters mirror :func:`repro.traffic.benchmarks.generate_benchmark_trace`;
+    ``compressed`` applies :func:`repro.traffic.compression.compress_trace`
+    to every trace.  When ``cache_dir`` is given, traces are stored as
+    ``.npz`` keyed by their full parameterization.
+    """
+
+    def build(name: str) -> Trace:
+        if cache_dir is not None:
+            key = f"{name}-{num_cores}-{duration_ns:g}-{seed}-{int(compressed)}.npz"
+            path = Path(cache_dir) / key
+            if path.exists():
+                return Trace.load_npz(path)
+        trace = generate_benchmark_trace(name, num_cores, duration_ns, seed)
+        if compressed:
+            trace = compress_trace(trace)
+        if cache_dir is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            trace.save_npz(path)
+        return trace
+
+    return TraceSuite(
+        train=tuple(build(n) for n in TRAIN_BENCHMARKS),
+        validation=tuple(build(n) for n in VALIDATION_BENCHMARKS),
+        test=tuple(build(n) for n in TEST_BENCHMARKS),
+    )
+
+
+def benchmark_names() -> list[str]:
+    """All 14 benchmark names, suite order."""
+    return sorted(BENCHMARKS)

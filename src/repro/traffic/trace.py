@@ -1,0 +1,226 @@
+"""Trace format (Section IV.A).
+
+The paper's full-system simulator emits per-core network traffic where each
+injected packet is one entry: *source, destination, type (request/response)
+and injection time*.  :class:`Trace` stores exactly that schema as a
+structure-of-arrays (NumPy-backed, sorted by injection time) and supports
+``.npz`` and JSON-lines (de)serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import TrafficError
+
+#: Packet-kind codes.
+KIND_REQUEST = 0
+KIND_RESPONSE = 1
+
+KIND_NAMES = {KIND_REQUEST: "request", KIND_RESPONSE: "response"}
+KIND_CODES = {v: k for k, v in KIND_NAMES.items()}
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, time-sorted packet trace.
+
+    Attributes
+    ----------
+    src, dst:
+        Core indices (``int32``) of producer and consumer.
+    kind:
+        ``KIND_REQUEST`` or ``KIND_RESPONSE`` per entry (``uint8``).
+    t_ns:
+        Injection times in nanoseconds (``float64``), non-decreasing.
+    num_cores:
+        Core-index domain; every ``src``/``dst`` must be below this.
+    name:
+        Human-readable label (benchmark name).
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    kind: np.ndarray
+    t_ns: np.ndarray
+    num_cores: int
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        n = len(self.t_ns)
+        if not (len(self.src) == len(self.dst) == len(self.kind) == n):
+            raise TrafficError("trace columns have mismatched lengths")
+        if self.num_cores < 2:
+            raise TrafficError("a trace needs at least two cores")
+        if n:
+            if np.any(np.diff(self.t_ns) < 0):
+                raise TrafficError("injection times must be non-decreasing")
+            if self.t_ns[0] < 0:
+                raise TrafficError("injection times must be non-negative")
+            for col, label in ((self.src, "src"), (self.dst, "dst")):
+                if col.min() < 0 or col.max() >= self.num_cores:
+                    raise TrafficError(
+                        f"{label} indices out of range [0, {self.num_cores})"
+                    )
+            if np.any(self.src == self.dst):
+                raise TrafficError("self-addressed packets are not allowed")
+            bad = set(np.unique(self.kind)) - set(KIND_NAMES)
+            if bad:
+                raise TrafficError(f"unknown packet kinds: {sorted(bad)}")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_entries(
+        cls,
+        entries: list[tuple[int, int, int, float]],
+        num_cores: int,
+        name: str = "trace",
+    ) -> "Trace":
+        """Build a trace from ``(src, dst, kind, t_ns)`` tuples (any order)."""
+        if entries:
+            arr = sorted(entries, key=lambda e: e[3])
+            src, dst, kind, t = zip(*arr)
+        else:
+            src = dst = kind = t = ()
+        return cls(
+            src=np.asarray(src, dtype=np.int32),
+            dst=np.asarray(dst, dtype=np.int32),
+            kind=np.asarray(kind, dtype=np.uint8),
+            t_ns=np.asarray(t, dtype=np.float64),
+            num_cores=num_cores,
+            name=name,
+        )
+
+    @classmethod
+    def empty(cls, num_cores: int, name: str = "empty") -> "Trace":
+        """An injection-free trace (useful for idle-network tests)."""
+        return cls.from_entries([], num_cores, name)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.t_ns)
+
+    @property
+    def duration_ns(self) -> float:
+        """Time of the last injection (0.0 for an empty trace)."""
+        return float(self.t_ns[-1]) if len(self) else 0.0
+
+    @property
+    def injection_rate(self) -> float:
+        """Average packets per ns per core over the trace duration."""
+        if len(self) == 0 or self.duration_ns == 0:
+            return 0.0
+        return len(self) / self.duration_ns / self.num_cores
+
+    def packets_per_core(self) -> np.ndarray:
+        """Packets injected by each core."""
+        return np.bincount(self.src, minlength=self.num_cores)
+
+    def packets_to_core(self) -> np.ndarray:
+        """Packets addressed to each core."""
+        return np.bincount(self.dst, minlength=self.num_cores)
+
+    def request_fraction(self) -> float:
+        """Fraction of entries that are requests."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.kind == KIND_REQUEST))
+
+    # ------------------------------------------------------------------ #
+    # Transformation
+    # ------------------------------------------------------------------ #
+
+    def window(self, t0_ns: float, t1_ns: float) -> "Trace":
+        """Entries with injection time in ``[t0_ns, t1_ns)``, rebased to 0."""
+        if t1_ns < t0_ns:
+            raise TrafficError("window end precedes start")
+        mask = (self.t_ns >= t0_ns) & (self.t_ns < t1_ns)
+        return Trace(
+            src=self.src[mask],
+            dst=self.dst[mask],
+            kind=self.kind[mask],
+            t_ns=self.t_ns[mask] - t0_ns,
+            num_cores=self.num_cores,
+            name=f"{self.name}[{t0_ns:g}:{t1_ns:g}]",
+        )
+
+    def scaled(self, time_factor: float, name: str | None = None) -> "Trace":
+        """Uniformly stretch (>1) or squeeze (<1) all injection times."""
+        if time_factor <= 0:
+            raise TrafficError("time_factor must be positive")
+        return Trace(
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            t_ns=self.t_ns * time_factor,
+            num_cores=self.num_cores,
+            name=name or f"{self.name}x{time_factor:g}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def save_npz(self, path: str | Path) -> None:
+        """Write the trace to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            t_ns=self.t_ns,
+            num_cores=np.int64(self.num_cores),
+            name=np.str_(self.name),
+        )
+
+    @classmethod
+    def load_npz(cls, path: str | Path) -> "Trace":
+        """Load a trace previously written by :meth:`save_npz`."""
+        with np.load(Path(path)) as data:
+            return cls(
+                src=data["src"],
+                dst=data["dst"],
+                kind=data["kind"],
+                t_ns=data["t_ns"],
+                num_cores=int(data["num_cores"]),
+                name=str(data["name"]),
+            )
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write the trace as JSON lines (one entry per line, plus a header)."""
+        with open(Path(path), "w") as fh:
+            fh.write(json.dumps({"num_cores": self.num_cores, "name": self.name}))
+            fh.write("\n")
+            for s, d, k, t in zip(self.src, self.dst, self.kind, self.t_ns):
+                fh.write(
+                    json.dumps(
+                        {
+                            "src": int(s),
+                            "dst": int(d),
+                            "kind": KIND_NAMES[int(k)],
+                            "t_ns": float(t),
+                        }
+                    )
+                )
+                fh.write("\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "Trace":
+        """Load a trace previously written by :meth:`save_jsonl`."""
+        with open(Path(path)) as fh:
+            header = json.loads(fh.readline())
+            entries = [
+                (e["src"], e["dst"], KIND_CODES[e["kind"]], e["t_ns"])
+                for e in map(json.loads, fh)
+            ]
+        return cls.from_entries(entries, header["num_cores"], header["name"])

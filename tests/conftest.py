@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.exists() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.common.config import SimConfig  # noqa: E402
+from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace  # noqa: E402
+
+
+@pytest.fixture
+def small_config() -> SimConfig:
+    """A 4x4 mesh with a short horizon — fast unit-test substrate."""
+    return SimConfig(
+        topology="mesh", radix=4, concentration=1,
+        epoch_cycles=100, horizon_ns=2_000.0,
+    )
+
+
+@pytest.fixture
+def drain_config() -> SimConfig:
+    """A 4x4 mesh run to drain (completion-time semantics)."""
+    return SimConfig(topology="mesh", radix=4, concentration=1, epoch_cycles=100)
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A handful of deterministic packets on a 16-core grid."""
+    entries = [
+        (0, 15, KIND_REQUEST, 10.0),
+        (5, 10, KIND_REQUEST, 12.0),
+        (3, 12, KIND_RESPONSE, 20.0),
+        (15, 0, KIND_RESPONSE, 40.0),
+        (7, 8, KIND_REQUEST, 55.0),
+    ]
+    return Trace.from_entries(entries, num_cores=16, name="tiny")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

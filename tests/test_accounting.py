@@ -1,0 +1,149 @@
+"""Tests for the per-router energy accountant."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import MODE_BY_INDEX, MODE_MAX, MODE_MIN
+from repro.power.accounting import EnergyAccountant
+from repro.power.dsent import (
+    ML_LABEL_ENERGY_41FEAT_PJ,
+    ML_LABEL_ENERGY_5FEAT_PJ,
+    dynamic_energy_pj,
+    static_power_w,
+)
+
+
+class TestStaticAccounting:
+    def test_static_energy_is_power_times_time(self):
+        acc = EnergyAccountant(2)
+        acc.add_static(0, 1.2, 1000.0)  # 1000 ns at mode 7
+        want_pj = static_power_w(1.2) * 1000.0 * 1e3
+        assert acc.static_pj[0] == pytest.approx(want_pj)
+        assert acc.static_pj[1] == 0.0
+
+    def test_powered_time_tracked(self):
+        acc = EnergyAccountant(1)
+        acc.add_static(0, 0.8, 250.0)
+        acc.add_static(0, 1.2, 250.0)
+        assert acc.powered_time_ns[0] == pytest.approx(500.0)
+
+    def test_gated_interval_free(self):
+        acc = EnergyAccountant(1)
+        acc.add_gated(0, 700.0)
+        assert acc.total_static_pj == 0.0
+        assert acc.gated_time_ns[0] == pytest.approx(700.0)
+
+    def test_gated_fraction(self):
+        acc = EnergyAccountant(4)
+        acc.add_gated(0, 100.0)
+        acc.add_gated(1, 300.0)
+        assert acc.gated_fraction(100.0) == pytest.approx(400.0 / 400.0 / 1)
+
+    def test_average_static_power(self):
+        acc = EnergyAccountant(1)
+        acc.add_static(0, 1.0, 1000.0)
+        assert acc.average_static_power_w(1000.0) == pytest.approx(
+            static_power_w(1.0)
+        )
+
+    def test_bad_elapsed_rejected(self):
+        acc = EnergyAccountant(1)
+        with pytest.raises(ValueError):
+            acc.average_static_power_w(0.0)
+        with pytest.raises(ValueError):
+            acc.gated_fraction(-1.0)
+
+
+class TestDynamicAccounting:
+    def test_hop_energy(self):
+        acc = EnergyAccountant(1)
+        acc.add_hop(0, 1.2, 5)
+        assert acc.dynamic_pj[0] == pytest.approx(5 * dynamic_energy_pj(1.2))
+        assert acc.flit_hops[0] == 5
+
+    def test_hop_energy_scales_with_voltage(self):
+        lo, hi = EnergyAccountant(1), EnergyAccountant(1)
+        lo.add_hop(0, 0.8, 10)
+        hi.add_hop(0, 1.2, 10)
+        assert lo.dynamic_pj[0] < hi.dynamic_pj[0]
+
+    def test_ml_label_5_features(self):
+        acc = EnergyAccountant(1)
+        acc.add_ml_label(0, 5)
+        assert acc.ml_pj[0] == pytest.approx(ML_LABEL_ENERGY_5FEAT_PJ)
+
+    def test_ml_label_41_features(self):
+        acc = EnergyAccountant(1)
+        acc.add_ml_label(0, 41)
+        assert acc.ml_pj[0] == pytest.approx(ML_LABEL_ENERGY_41FEAT_PJ)
+
+    def test_ml_counts_as_dynamic(self):
+        acc = EnergyAccountant(1)
+        acc.add_ml_label(0, 5)
+        assert acc.total_dynamic_pj == pytest.approx(ML_LABEL_ENERGY_5FEAT_PJ)
+
+
+class TestWakeAccounting:
+    def test_breakeven_charge(self):
+        acc = EnergyAccountant(1)
+        acc.add_wake_event(0, MODE_MAX)
+        want = (
+            static_power_w(1.2)
+            * MODE_MAX.t_breakeven_cycles
+            * MODE_MAX.period_ns
+            * 1e3
+        )
+        assert acc.wake_pj[0] == pytest.approx(want)
+        assert acc.wake_events[0] == 1
+
+    def test_wake_charge_counts_as_static(self):
+        acc = EnergyAccountant(1)
+        acc.add_wake_event(0, MODE_MIN)
+        assert acc.total_static_pj == pytest.approx(float(acc.wake_pj[0]))
+
+    def test_breakeven_ladder_equalizes_wake_energy(self):
+        # A neat consequence of the paper's proportional T-Breakeven ladder:
+        # P_static(V) * T_breakeven(V) * period(V) is (nearly) constant, so
+        # waking into any mode costs about the same energy.
+        lo, hi = EnergyAccountant(1), EnergyAccountant(1)
+        lo.add_wake_event(0, MODE_MIN)
+        hi.add_wake_event(0, MODE_MAX)
+        assert lo.wake_pj[0] == pytest.approx(hi.wake_pj[0], rel=0.15)
+
+
+class TestSummaries:
+    def test_mode_residency_tracked_per_mode(self):
+        acc = EnergyAccountant(2)
+        acc.add_mode_residency(0, 3, 10.0)
+        acc.add_mode_residency(1, 7, 20.0)
+        assert acc.mode_time_ns[3][0] == pytest.approx(10.0)
+        assert acc.mode_time_ns[7][1] == pytest.approx(20.0)
+        assert set(acc.mode_time_ns) == set(MODE_BY_INDEX)
+
+    def test_summary_keys(self):
+        acc = EnergyAccountant(1)
+        acc.add_static(0, 1.2, 10.0)
+        s = acc.summary(10.0)
+        assert {
+            "static_pj", "dynamic_pj", "wake_pj", "ml_pj", "total_pj",
+            "avg_static_power_w", "gated_fraction", "flit_hops", "wake_events",
+        } <= set(s)
+
+    def test_total_is_sum_of_categories(self):
+        acc = EnergyAccountant(1)
+        acc.add_static(0, 1.0, 5.0)
+        acc.add_hop(0, 1.0, 2)
+        acc.add_ml_label(0, 5)
+        acc.add_wake_event(0, MODE_MAX)
+        assert acc.total_pj == pytest.approx(
+            acc.total_static_pj + acc.total_dynamic_pj
+        )
+
+    def test_zero_routers_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAccountant(0)
+
+    def test_arrays_sized_by_router_count(self):
+        acc = EnergyAccountant(7)
+        assert acc.static_pj.shape == (7,)
+        assert np.all(acc.static_pj == 0)

@@ -1,0 +1,66 @@
+"""Tests for the V/F-ladder restriction (allowed_modes)."""
+
+import pytest
+
+from repro.core.controller import make_policy
+from repro.core.modes import MODE_MAX
+from repro.noc.router import Router
+
+
+@pytest.fixture
+def router():
+    return Router(rid=0, buffer_depth=8, initial_mode=MODE_MAX)
+
+
+class TestValidation:
+    def test_must_include_mode7(self):
+        with pytest.raises(ValueError):
+            make_policy("dozznoc", allowed_modes=(3, 5))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("dozznoc", allowed_modes=(2, 7))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("dozznoc", allowed_modes=())
+
+    def test_duplicates_normalized(self):
+        p = make_policy("dozznoc", allowed_modes=(7, 3, 3, 7))
+        assert p.allowed_modes == (3, 7)
+
+    def test_default_unrestricted(self):
+        assert make_policy("dozznoc").allowed_modes is None
+
+
+class TestRounding:
+    @pytest.mark.parametrize(
+        "occ_sum,expected",
+        [
+            (0.2, 3),   # threshold mode 3, allowed -> 3
+            (0.7, 5),   # threshold mode 4, rounded up to 5
+            (1.5, 5),   # threshold mode 5, allowed -> 5
+            (2.2, 7),   # threshold mode 6, rounded up to 7
+            (3.0, 7),   # threshold mode 7
+        ],
+    )
+    def test_rounds_up_to_nearest_allowed(self, router, occ_sum, expected):
+        policy = make_policy("lead", allowed_modes=(3, 5, 7))
+        router.epoch_cycle = 10
+        router.occ_sum = occ_sum
+        assert policy.select_mode_index(router, None) == expected
+
+    def test_single_mode_ladder_always_m7(self, router):
+        policy = make_policy("dozznoc", allowed_modes=(7,))
+        router.epoch_cycle = 10
+        for occ_sum in (0.0, 1.5, 3.0):
+            router.occ_sum = occ_sum
+            assert policy.select_mode_index(router, None) == 7
+
+    def test_turbo_promotion_composes_with_ladder(self, router):
+        policy = make_policy("turbo", allowed_modes=(3, 5, 7))
+        router.epoch_cycle = 10
+        router.occ_sum = 0.7  # threshold mode 4 (a mid mode)
+        picks = [policy.select_mode_index(router, None) for _ in range(3)]
+        # Two rounded-up M5 picks, then the turbo promotion to M7.
+        assert picks == [5, 5, 7]

@@ -1,0 +1,131 @@
+"""Tests for the 14 benchmark-signature trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TrafficError
+from repro.traffic.benchmarks import (
+    BENCHMARKS,
+    TEST_BENCHMARKS,
+    TRAIN_BENCHMARKS,
+    VALIDATION_BENCHMARKS,
+    BenchmarkSpec,
+    generate_benchmark_trace,
+)
+from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE
+
+
+class TestSuiteStructure:
+    def test_fourteen_benchmarks(self):
+        assert len(BENCHMARKS) == 14
+
+    def test_nine_parsec_five_splash(self):
+        suites = [s.suite for s in BENCHMARKS.values()]
+        assert suites.count("parsec") == 9
+        assert suites.count("splash2") == 5
+
+    def test_paper_split_6_3_5(self):
+        assert len(TRAIN_BENCHMARKS) == 6
+        assert len(VALIDATION_BENCHMARKS) == 3
+        assert len(TEST_BENCHMARKS) == 5
+
+    def test_split_is_a_partition(self):
+        union = set(TRAIN_BENCHMARKS) | set(VALIDATION_BENCHMARKS) | set(
+            TEST_BENCHMARKS
+        )
+        assert union == set(BENCHMARKS)
+        assert not set(TRAIN_BENCHMARKS) & set(TEST_BENCHMARKS)
+        assert not set(VALIDATION_BENCHMARKS) & set(TEST_BENCHMARKS)
+
+
+class TestSpecValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(TrafficError):
+            BenchmarkSpec("x", "parsec", rate=-1, duty=0.5)
+
+    def test_bad_duty_rejected(self):
+        with pytest.raises(TrafficError):
+            BenchmarkSpec("x", "parsec", rate=0.01, duty=0.0)
+
+    def test_probability_overflow_rejected(self):
+        with pytest.raises(TrafficError):
+            BenchmarkSpec("x", "parsec", rate=0.01, duty=0.5,
+                          locality=0.7, hotspot=0.7)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(TrafficError):
+            BenchmarkSpec("x", "parsec", rate=0.01, duty=0.5, phases=())
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_every_benchmark_generates(self, name):
+        tr = generate_benchmark_trace(name, num_cores=16, duration_ns=1500.0)
+        assert tr.name == name
+        assert tr.num_cores == 16
+        assert len(tr) > 0
+        assert tr.duration_ns < 1500.0
+
+    def test_deterministic(self):
+        a = generate_benchmark_trace("canneal", 16, 1000.0, seed=5)
+        b = generate_benchmark_trace("canneal", 16, 1000.0, seed=5)
+        assert np.array_equal(a.t_ns, b.t_ns)
+        assert np.array_equal(a.src, b.src)
+
+    def test_seed_changes_trace(self):
+        a = generate_benchmark_trace("canneal", 16, 1000.0, seed=1)
+        b = generate_benchmark_trace("canneal", 16, 1000.0, seed=2)
+        assert len(a) != len(b) or not np.array_equal(a.t_ns, b.t_ns)
+
+    def test_signatures_differ_across_benchmarks(self):
+        light = generate_benchmark_trace("swaptions", 16, 6000.0)
+        heavy = generate_benchmark_trace("fft", 16, 6000.0)
+        assert heavy.injection_rate > 1.4 * light.injection_rate
+
+    def test_contains_requests_and_responses(self):
+        tr = generate_benchmark_trace("dedup", 16, 4000.0)
+        kinds = set(np.unique(tr.kind))
+        assert KIND_REQUEST in kinds
+        assert KIND_RESPONSE in kinds
+
+    def test_hotspot_benchmark_concentrates_destinations(self):
+        tr = generate_benchmark_trace("dedup", 64, 6000.0)
+        per_core = tr.packets_to_core()
+        # The hottest core receives far more than the median core.
+        assert per_core.max() > 3 * np.median(per_core)
+
+    def test_locality_benchmark_short_distances(self):
+        loc = generate_benchmark_trace("fluidanimate", 64, 4000.0)
+        uni = generate_benchmark_trace("canneal", 64, 4000.0)
+
+        def mean_dist(tr):
+            side = 8
+            sx, sy = tr.src % side, tr.src // side
+            dx, dy = tr.dst % side, tr.dst // side
+            return float(np.mean(np.abs(sx - dx) + np.abs(sy - dy)))
+
+        assert mean_dist(loc) < mean_dist(uni)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(TrafficError):
+            generate_benchmark_trace("doom", 16, 100.0)
+
+    def test_non_square_core_count_rejected(self):
+        with pytest.raises(TrafficError):
+            generate_benchmark_trace("fft", 12, 100.0)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(TrafficError):
+            generate_benchmark_trace("fft", 16, -5.0)
+
+    def test_rates_roughly_match_spec(self):
+        # Long trace: the empirical whole-trace request rate should land
+        # near rate * global_duty (phases and window randomness move it
+        # around, but within 2.5x either way).
+        name = "bodytrack"
+        spec = BENCHMARKS[name]
+        tr = generate_benchmark_trace(name, 16, 30_000.0)
+        requests = float(np.sum(tr.kind == KIND_REQUEST))
+        rate = requests / tr.duration_ns / tr.num_cores
+        expected = spec.rate * spec.global_duty
+        assert expected / 2.5 < rate < expected * 2.5

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig6"])
+        assert args.name == "fig6"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "dozznoc"
+        assert args.benchmark == "blackscholes"
+        assert not args.compressed
+
+    def test_campaign_flags(self):
+        args = build_parser().parse_args(["campaign", "--compressed", "--quick"])
+        assert args.compressed and args.quick
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dozznoc" in out
+        assert "blackscholes" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table V" in out
+
+    def test_figure_fig5(self, capsys):
+        assert main(["figure", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "T-Wakeup" in out
+        assert "8.5" in out
+
+    def test_figure_fig6(self, capsys):
+        assert main(["figure", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "SIMO" in out
+
+    def test_run_tiny(self, capsys):
+        rc = main([
+            "run", "--policy", "pg", "--benchmark", "swaptions",
+            "--duration", "400",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "packets_delivered" in out
+        assert "gated_fraction" in out

@@ -1,0 +1,88 @@
+"""Tests for trace compression (Fig 8's compressed/uncompressed settings)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TrafficError
+from repro.traffic.compression import (
+    DEFAULT_COMPRESSION_FACTOR,
+    compress_trace,
+    compression_ratio,
+    squeeze_global_gaps,
+)
+from repro.traffic.trace import KIND_REQUEST, Trace
+
+
+def make_trace(times, n=8):
+    entries = [(i % n, (i + 1) % n, KIND_REQUEST, t) for i, t in enumerate(times)]
+    return Trace.from_entries(entries, n, "c")
+
+
+class TestCompress:
+    def test_scales_timeline(self):
+        tr = make_trace([10.0, 20.0, 100.0])
+        comp = compress_trace(tr, factor=0.5)
+        assert np.allclose(comp.t_ns, [5.0, 10.0, 50.0])
+
+    def test_raises_injection_rate(self):
+        tr = make_trace([10.0, 20.0, 100.0])
+        comp = compress_trace(tr, factor=0.25)
+        assert comp.injection_rate == pytest.approx(4 * tr.injection_rate)
+
+    def test_preserves_structure(self):
+        tr = make_trace([10.0, 20.0, 100.0])
+        comp = compress_trace(tr)
+        assert np.array_equal(comp.src, tr.src)
+        assert np.array_equal(comp.dst, tr.dst)
+        assert np.array_equal(comp.kind, tr.kind)
+
+    def test_names_compressed(self):
+        assert compress_trace(make_trace([1.0])).name.endswith(".compressed")
+
+    def test_default_factor(self):
+        tr = make_trace([100.0])
+        assert compress_trace(tr).t_ns[0] == pytest.approx(
+            100.0 * DEFAULT_COMPRESSION_FACTOR
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_factor_validation(self, bad):
+        with pytest.raises(TrafficError):
+            compress_trace(make_trace([1.0]), factor=bad)
+
+
+class TestSqueezeGaps:
+    def test_long_gaps_clipped(self):
+        tr = make_trace([0.0, 5.0, 500.0, 505.0])
+        sq = squeeze_global_gaps(tr, max_gap_ns=20.0)
+        assert np.allclose(sq.t_ns, [0.0, 5.0, 25.0, 30.0])
+
+    def test_short_gaps_preserved(self):
+        tr = make_trace([0.0, 5.0, 12.0])
+        sq = squeeze_global_gaps(tr, max_gap_ns=20.0)
+        assert np.allclose(sq.t_ns, tr.t_ns)
+
+    def test_order_preserved(self):
+        tr = make_trace([0.0, 100.0, 101.0, 300.0])
+        sq = squeeze_global_gaps(tr, max_gap_ns=10.0)
+        assert np.all(np.diff(sq.t_ns) >= 0)
+
+    def test_empty_trace_ok(self):
+        sq = squeeze_global_gaps(Trace.empty(8))
+        assert len(sq) == 0
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(TrafficError):
+            squeeze_global_gaps(make_trace([1.0]), max_gap_ns=0.0)
+
+
+class TestRatio:
+    def test_compression_ratio(self):
+        tr = make_trace([10.0, 100.0])
+        comp = compress_trace(tr, factor=0.5)
+        assert compression_ratio(tr, comp) == pytest.approx(2.0)
+
+    def test_zero_duration_rejected(self):
+        tr = make_trace([10.0])
+        with pytest.raises(TrafficError):
+            compression_ratio(tr, Trace.empty(8))

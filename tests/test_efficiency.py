@@ -1,0 +1,77 @@
+"""Tests for the power-delivery efficiency model (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import VOLTAGES
+from repro.regulator.efficiency import (
+    V_BATTERY,
+    baseline_efficiency,
+    compare_efficiency,
+    ldo_efficiency,
+    simo_efficiency,
+)
+
+
+class TestLdoEfficiency:
+    def test_dropout_dominates(self):
+        assert ldo_efficiency(1.2, 0.8) < ldo_efficiency(1.2, 1.1)
+
+    def test_paper_anchor_low(self):
+        # "scaled down from 1.1 V to 0.8 V ... 92 % to 67 %" (rounded).
+        assert baseline_efficiency(0.8) == pytest.approx(0.67, abs=0.015)
+
+    def test_paper_anchor_high(self):
+        assert baseline_efficiency(1.1) == pytest.approx(0.92, abs=0.015)
+
+    def test_boost_rejected(self):
+        with pytest.raises(ValueError):
+            ldo_efficiency(0.9, 1.0)
+
+    def test_zero_vin_rejected(self):
+        with pytest.raises(ValueError):
+            ldo_efficiency(0.0, 0.0)
+
+
+class TestSimoEfficiency:
+    @pytest.mark.parametrize("v", VOLTAGES)
+    def test_discrete_levels_above_87pct(self, v):
+        # Fig 6 claim: "overall power efficiency ... higher than 87 %".
+        assert simo_efficiency(v) > 0.87
+
+    def test_simo_beats_baseline_below_battery(self):
+        for v in VOLTAGES[:-1]:
+            assert simo_efficiency(v) > baseline_efficiency(v)
+
+    def test_max_gain_near_25pct_at_0v9(self):
+        cmp = compare_efficiency(VOLTAGES)
+        gains = dict(zip(cmp.voltages.tolist(), cmp.improvement))
+        assert gains[0.9] == pytest.approx(0.235, abs=0.03)
+        assert cmp.max_improvement == pytest.approx(gains[0.9])
+
+    def test_average_gain_near_15pct(self):
+        cmp = compare_efficiency(VOLTAGES)
+        assert cmp.average_improvement_low_range == pytest.approx(0.15, abs=0.03)
+
+    def test_min_simo_over_dvfs_levels(self):
+        cmp = compare_efficiency(VOLTAGES)
+        assert cmp.min_simo_efficiency > 0.87
+
+
+class TestComparison:
+    def test_sweep_shapes(self):
+        cmp = compare_efficiency(np.linspace(0.8, 1.2, 9))
+        assert cmp.voltages.shape == cmp.baseline.shape == cmp.simo.shape
+
+    def test_baseline_monotone_in_vout(self):
+        cmp = compare_efficiency(np.linspace(0.8, 1.2, 9))
+        assert np.all(np.diff(cmp.baseline) > 0)
+
+    def test_improvement_is_simo_minus_baseline(self):
+        cmp = compare_efficiency(VOLTAGES)
+        assert np.allclose(cmp.improvement, cmp.simo - cmp.baseline)
+
+    def test_low_range_requires_low_voltages(self):
+        cmp = compare_efficiency((V_BATTERY,))
+        with pytest.raises(ValueError):
+            _ = cmp.average_improvement_low_range

@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    TrafficError,
+    TrainingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigError, TopologyError, RoutingError, SimulationError,
+         TrafficError, TrainingError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_base_derives_from_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_one_catch_all(self):
+        # Library consumers can catch everything with one clause.
+        caught = []
+        for exc in (ConfigError("a"), TrafficError("b"), TrainingError("c")):
+            try:
+                raise exc
+            except ReproError as e:
+                caught.append(e)
+        assert len(caught) == 3

@@ -1,0 +1,81 @@
+"""Tests for the experiment runner and baseline normalization."""
+
+import pytest
+
+from repro.experiments.runner import (
+    MODEL_LABELS,
+    MODEL_NAMES,
+    ModelMetrics,
+    normalize_to_baseline,
+    run_model,
+)
+
+
+def metrics(model="dozznoc", trace="t", static=50.0, dyn=40.0, thr=9.0,
+            lat=11.0, gated=0.3):
+    return ModelMetrics(
+        model=model,
+        trace=trace,
+        throughput_flits_per_ns=thr,
+        avg_latency_ns=lat,
+        static_pj=static,
+        dynamic_pj=dyn,
+        gated_fraction=gated,
+        elapsed_ns=1000.0,
+        packets_delivered=100,
+        mode_distribution={m: 0.2 for m in range(3, 8)},
+    )
+
+
+class TestNormalization:
+    def test_energy_ratios(self):
+        base = metrics("baseline", static=100.0, dyn=80.0, thr=10.0, lat=10.0,
+                       gated=0.0)
+        norm = normalize_to_baseline(base, metrics())
+        assert norm.static_energy == pytest.approx(0.5)
+        assert norm.dynamic_energy == pytest.approx(0.5)
+        assert norm.static_savings == pytest.approx(0.5)
+        assert norm.dynamic_savings == pytest.approx(0.5)
+
+    def test_performance_deltas(self):
+        base = metrics("baseline", thr=10.0, lat=10.0)
+        norm = normalize_to_baseline(base, metrics(thr=9.0, lat=11.0))
+        assert norm.throughput_loss == pytest.approx(0.10)
+        assert norm.latency_increase == pytest.approx(0.10)
+
+    def test_cross_trace_rejected(self):
+        base = metrics("baseline", trace="a")
+        with pytest.raises(ValueError):
+            normalize_to_baseline(base, metrics(trace="b"))
+
+    def test_zero_baseline_energy_rejected(self):
+        base = metrics("baseline", static=0.0)
+        with pytest.raises(ValueError):
+            normalize_to_baseline(base, metrics())
+
+    def test_gated_fraction_passthrough(self):
+        base = metrics("baseline", gated=0.0)
+        assert normalize_to_baseline(base, metrics(gated=0.4)).gated_fraction == 0.4
+
+
+class TestModelNames:
+    def test_five_models_in_figure8_order(self):
+        assert MODEL_NAMES == ("baseline", "pg", "lead", "dozznoc", "turbo")
+
+    def test_labels_cover_all_models(self):
+        assert set(MODEL_LABELS) == set(MODEL_NAMES)
+
+
+class TestRunModel:
+    def test_runs_and_reports(self, small_config, tiny_trace):
+        result = run_model("dozznoc", tiny_trace, small_config)
+        m = ModelMetrics.from_result(result)
+        assert m.model == "dozznoc"
+        assert m.trace == "tiny"
+        assert m.packets_delivered == 5
+        assert 0.0 <= m.gated_fraction <= 1.0
+
+    def test_mode_distribution_sums_to_one(self, small_config, tiny_trace):
+        result = run_model("lead", tiny_trace, small_config)
+        dist = ModelMetrics.from_result(result).mode_distribution
+        assert sum(dist.values()) == pytest.approx(1.0)

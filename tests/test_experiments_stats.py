@@ -1,0 +1,72 @@
+"""Tests for multi-seed aggregation."""
+
+import math
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.experiments.campaign import CampaignConfig
+from repro.experiments.stats import (
+    AGGREGATED_METRICS,
+    MetricStats,
+    run_multi_seed,
+)
+
+
+class TestMetricStats:
+    def test_ci_single_sample_collapses(self):
+        s = MetricStats(mean=0.5, std=0.0, n=1)
+        assert s.ci95() == (0.5, 0.5)
+
+    def test_ci_width(self):
+        s = MetricStats(mean=0.5, std=0.1, n=4)
+        lo, hi = s.ci95()
+        half = 1.96 * 0.1 / math.sqrt(4)
+        assert lo == pytest.approx(0.5 - half)
+        assert hi == pytest.approx(0.5 + half)
+
+
+class TestMultiSeed:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        cfg = CampaignConfig(
+            sim=SimConfig(topology="mesh", radix=4, epoch_cycles=150),
+            duration_ns=1_500.0,
+            models=("baseline", "pg", "dozznoc"),
+            cache_dir=tmp_path_factory.mktemp("w"),
+        )
+        return run_multi_seed(cfg, seeds=(0, 1))
+
+    def test_models_covered(self, result):
+        assert set(result.stats) == {"pg", "dozznoc"}
+
+    def test_all_metrics_aggregated(self, result):
+        for metrics in result.stats.values():
+            assert set(metrics) == set(AGGREGATED_METRICS)
+            for s in metrics.values():
+                assert s.n == 2
+
+    def test_savings_accessor(self, result):
+        sav = result.savings_mean("dozznoc", "static")
+        assert 0.0 < sav < 1.0
+        assert sav == pytest.approx(
+            1.0 - result.mean("dozznoc", "static_energy")
+        )
+
+    def test_seed_spread_recorded(self, result):
+        # Two different suites: at least one metric should show nonzero
+        # spread (the runs are genuinely different).
+        spreads = [
+            s.std
+            for metrics in result.stats.values()
+            for s in metrics.values()
+        ]
+        assert any(s > 0 for s in spreads)
+
+    def test_empty_seed_list_rejected(self):
+        cfg = CampaignConfig(
+            sim=SimConfig(topology="mesh", radix=4, epoch_cycles=150),
+            duration_ns=1_000.0,
+        )
+        with pytest.raises(ValueError):
+            run_multi_seed(cfg, seeds=())

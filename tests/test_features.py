@@ -1,0 +1,106 @@
+"""Tests for the Feature Extract unit and feature sets (Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    FULL_FEATURES,
+    REDUCED_FEATURES,
+    SINGLE_FEATURE_CANDIDATES,
+    single_feature_set,
+)
+from repro.core.modes import MODE_MAX
+from repro.noc.router import Router
+
+
+class _SimStub:
+    epoch_cycles = 100
+    now_ns = 50.0
+
+    class network:  # noqa: N801 - attribute namespace stub
+        routers = []
+
+
+@pytest.fixture
+def router():
+    r = Router(rid=0, buffer_depth=8, initial_mode=MODE_MAX)
+    r.track_ports = True
+    return r
+
+
+class TestFeatureSets:
+    def test_reduced_set_matches_table4(self):
+        assert REDUCED_FEATURES.names == (
+            "bias", "core_sends", "core_recvs", "off_time", "ibu",
+        )
+        assert len(REDUCED_FEATURES) == 5
+
+    def test_full_set_has_41_features(self):
+        assert len(FULL_FEATURES) == 41
+
+    def test_full_set_contains_reduced(self):
+        assert set(REDUCED_FEATURES.names) <= set(FULL_FEATURES.names)
+
+    def test_names_unique(self):
+        assert len(set(FULL_FEATURES.names)) == 41
+
+    def test_reduced_needs_no_port_tracking(self):
+        assert not REDUCED_FEATURES.needs_port_tracking
+
+    def test_full_needs_port_tracking(self):
+        assert FULL_FEATURES.needs_port_tracking
+
+    def test_subset(self):
+        fs = FULL_FEATURES.subset(["bias", "ibu"])
+        assert fs.names == ("bias", "ibu")
+
+    def test_subset_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            FULL_FEATURES.subset(["bias", "nope"])
+
+    def test_single_feature_sets(self):
+        for cand in SINGLE_FEATURE_CANDIDATES:
+            fs = single_feature_set(cand)
+            assert fs.names == ("bias", cand)
+
+    def test_candidates_are_the_table4_locals(self):
+        assert set(SINGLE_FEATURE_CANDIDATES) == {
+            "core_sends", "core_recvs", "off_time", "ibu",
+        }
+
+
+class TestExtraction:
+    def test_reduced_vector(self, router):
+        router.epoch_cycle = 100
+        router.epoch_sends = 10
+        router.epoch_recvs = 5
+        router.total_off_cycles = 20
+        router.occ_sum = 10.0
+        vec = REDUCED_FEATURES.extract(router, _SimStub())
+        assert vec.shape == (5,)
+        assert vec[0] == 1.0                       # bias
+        assert vec[1] == pytest.approx(0.10)       # sends / cycles
+        assert vec[2] == pytest.approx(0.05)       # recvs / cycles
+        assert vec[3] == pytest.approx(0.20)       # off time fraction
+        assert vec[4] == pytest.approx(0.10)       # mean IBU
+
+    def test_full_vector_finite(self, router):
+        router.epoch_cycle = 50
+        vec = FULL_FEATURES.extract(router, _SimStub())
+        assert vec.shape == (41,)
+        assert np.all(np.isfinite(vec))
+
+    def test_fresh_router_extracts_zeros_except_bias(self, router):
+        vec = REDUCED_FEATURES.extract(router, _SimStub())
+        assert vec[0] == 1.0
+        assert np.all(vec[1:] == 0.0)
+
+    def test_mode_feature_normalized(self, router):
+        fs = FULL_FEATURES.subset(["mode_index"])
+        assert fs.extract(router, _SimStub())[0] == pytest.approx(1.0)  # M7
+
+    def test_port_features_reflect_accumulators(self, router):
+        router.epoch_cycle = 10
+        router.occ_port_sums[1] = 5.0  # NORTH averaged 0.5 flits/cycle
+        fs = FULL_FEATURES.subset(["occ_port_north"])
+        assert fs.extract(router, _SimStub())[0] == pytest.approx(0.5)

@@ -1,0 +1,83 @@
+"""Tests for the spatial per-router reporting."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.experiments.heatmap import (
+    dominant_mode_grid,
+    energy_grid,
+    gated_fraction_grid,
+    render_heatmap,
+    router_grid,
+    spatial_report,
+    traffic_grid,
+)
+from repro.noc.simulator import run_simulation
+from repro.traffic.benchmarks import generate_benchmark_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=100)
+    trace = generate_benchmark_trace("dedup", 16, 1_500.0)
+    return run_simulation(cfg, trace, make_policy("dozznoc"))
+
+
+class TestGrids:
+    def test_router_grid_shape(self):
+        grid = router_grid(np.arange(16), 4)
+        assert grid.shape == (4, 4)
+        assert grid[1, 0] == 4  # row-major
+
+    def test_router_grid_validates_length(self):
+        with pytest.raises(ValueError):
+            router_grid(np.arange(15), 4)
+
+    def test_gated_fraction_in_unit_interval(self, result):
+        grid = gated_fraction_grid(result)
+        assert grid.shape == (4, 4)
+        assert np.all(grid >= 0.0) and np.all(grid <= 1.0)
+        assert grid.max() > 0.0  # dozznoc gated something
+
+    def test_traffic_grid_counts_all_hops(self, result):
+        grid = traffic_grid(result)
+        assert grid.sum() == result.accountant.flit_hops.sum()
+
+    def test_energy_grid_totals(self, result):
+        grid = energy_grid(result)
+        assert grid.sum() == pytest.approx(result.accountant.total_pj)
+
+    def test_dominant_mode_range(self, result):
+        grid = dominant_mode_grid(result)
+        assert np.all((grid >= 3) & (grid <= 7))
+
+
+class TestRendering:
+    def test_render_dimensions(self):
+        out = render_heatmap(np.zeros((3, 5)), title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 5  # title + 3 rows + scale
+        assert all(len(l) == 12 for l in lines[1:4])  # 2 chars/cell + bars
+
+    def test_render_scales_shades(self):
+        out = render_heatmap(np.array([[0.0, 1.0]]), vmin=0, vmax=1)
+        row = out.splitlines()[0]
+        assert "  " in row and "@@" in row
+
+    def test_constant_grid_renders_cold(self):
+        out = render_heatmap(np.full((2, 2), 7.0))
+        assert "@" not in out.splitlines()[0]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(4))
+
+    def test_spatial_report_contains_all_sections(self, result):
+        report = spatial_report(result)
+        assert "gated fraction" in report
+        assert "flit-hops" in report
+        assert "total energy" in report
+        assert "dominant active mode" in report

@@ -1,0 +1,135 @@
+"""End-to-end integration tests: cross-model invariants on small meshes."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.noc.simulator import run_simulation
+from repro.traffic.benchmarks import generate_benchmark_trace
+from repro.traffic.suite import build_suite
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimConfig(topology="mesh", radix=4, epoch_cycles=150)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_benchmark_trace("bodytrack", num_cores=16,
+                                    duration_ns=3_000.0)
+
+
+@pytest.fixture(scope="module")
+def results(cfg, trace):
+    return {
+        name: run_simulation(cfg, trace, make_policy(name))
+        for name in ("baseline", "pg", "lead", "dozznoc", "turbo")
+    }
+
+
+class TestCrossModelInvariants:
+    def test_all_models_deliver_everything(self, results, trace):
+        for name, res in results.items():
+            assert res.drained, name
+            assert res.stats.packets_delivered == len(trace), name
+
+    def test_baseline_has_best_throughput(self, results):
+        base = results["baseline"].throughput_flits_per_ns
+        for name in ("pg", "lead", "dozznoc", "turbo"):
+            assert results[name].throughput_flits_per_ns <= base * 1.001, name
+
+    def test_baseline_has_lowest_latency(self, results):
+        base = results["baseline"].avg_latency_ns
+        for name in ("pg", "lead", "dozznoc", "turbo"):
+            assert results[name].avg_latency_ns >= base * 0.999, name
+
+    def test_every_model_saves_static_vs_baseline(self, results):
+        base = results["baseline"].accountant.total_static_pj
+        for name in ("pg", "lead", "dozznoc", "turbo"):
+            assert results[name].accountant.total_static_pj < base, name
+
+    def test_dvfs_models_save_dynamic_energy(self, results):
+        base = results["baseline"].accountant.total_dynamic_pj
+        for name in ("lead", "dozznoc", "turbo"):
+            assert results[name].accountant.total_dynamic_pj < base, name
+
+    def test_pg_does_not_save_dynamic(self, results):
+        # PG hops at mode 7 like the baseline: same per-hop energy.
+        base = results["baseline"].accountant.dynamic_pj.sum()
+        assert results["pg"].accountant.dynamic_pj.sum() == pytest.approx(
+            base, rel=0.01
+        )
+
+    def test_dozznoc_saves_more_static_than_lead(self, results):
+        # Gating removes leakage entirely during idle; DVFS alone cannot.
+        assert (
+            results["dozznoc"].accountant.total_static_pj
+            < results["lead"].accountant.total_static_pj
+        )
+
+    def test_only_gating_models_gate(self, results):
+        for name in ("pg", "dozznoc", "turbo"):
+            assert results[name].accountant.gated_time_ns.sum() > 0, name
+        for name in ("baseline", "lead"):
+            assert results[name].accountant.gated_time_ns.sum() == 0, name
+
+    def test_flit_hops_identical_across_models(self, results, trace):
+        # Deterministic XY routing: the same trace crosses the same links.
+        counts = {
+            name: res.accountant.flit_hops.sum() for name, res in results.items()
+        }
+        assert len(set(counts.values())) == 1, counts
+
+
+class TestCampaignQuick:
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("weights")
+        cfg = CampaignConfig(
+            sim=SimConfig(topology="mesh", radix=4, epoch_cycles=150),
+            duration_ns=2_000.0,
+            cache_dir=cache,
+        )
+        return run_campaign(cfg)
+
+    def test_five_test_traces(self, campaign):
+        assert len(campaign.metrics) == 5
+
+    def test_all_models_ran_per_trace(self, campaign):
+        for per_model in campaign.metrics.values():
+            assert set(per_model) == {"baseline", "pg", "lead", "dozznoc",
+                                       "turbo"}
+
+    def test_ml_models_trained(self, campaign):
+        assert set(campaign.weights) == {"lead", "dozznoc", "turbo"}
+        for w in campaign.weights.values():
+            assert w.shape == (5,)
+            assert np.all(np.isfinite(w))
+
+    def test_summary_rows_shape(self, campaign):
+        rows = campaign.summary_rows()
+        assert [r["model"] for r in rows] == ["pg", "lead", "dozznoc", "turbo"]
+        for row in rows:
+            assert -100 <= row["throughput_loss_pct"] <= 100
+
+    def test_paper_shape_dozznoc_saves_both(self, campaign):
+        avg = campaign.average_normalized("dozznoc")
+        assert avg.static_savings > 0.1
+        assert avg.dynamic_savings > 0.1
+
+    def test_paper_shape_static_ordering(self, campaign):
+        # DozzNoC (gating + DVFS) saves at least as much static power as
+        # pure LEAD (DVFS only).
+        lead = campaign.average_normalized("lead")
+        dozz = campaign.average_normalized("dozznoc")
+        assert dozz.static_savings > lead.static_savings
+
+    def test_average_normalized_requires_results(self, campaign):
+        import dataclasses
+
+        empty = dataclasses.replace(campaign, normalized={})
+        with pytest.raises(ValueError):
+            empty.average_normalized("dozznoc")

@@ -1,0 +1,126 @@
+"""Tests for the behavioural LDO transient model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.regulator.ldo import (
+    DEFAULT_DT_NS,
+    LdoModel,
+    SETTLE_EPS_V,
+)
+
+
+@pytest.fixture(scope="module")
+def ldo() -> LdoModel:
+    return LdoModel()
+
+
+class TestCalibration:
+    def test_wakeup_anchor_low(self, ldo):
+        # Paper Fig 5a / Table II: 0 -> 0.8 V in 8.5 ns.
+        assert ldo.wakeup_time_ns(0.8) == pytest.approx(8.5, abs=0.05)
+
+    def test_wakeup_anchor_high(self, ldo):
+        assert ldo.wakeup_time_ns(1.2) == pytest.approx(8.8, abs=0.05)
+
+    def test_switch_anchor_small_step(self, ldo):
+        # Table II: 0.1 V steps take 4.1-4.4 ns.
+        assert 4.0 <= ldo.switch_time_ns(0.8, 0.9) <= 4.5
+
+    def test_switch_anchor_full_range(self, ldo):
+        # Table II: 0.8 <-> 1.2 V takes 6.7-6.9 ns.
+        assert 6.5 <= ldo.switch_time_ns(0.8, 1.2) <= 7.0
+
+    def test_switch_symmetric(self, ldo):
+        assert ldo.switch_time_ns(0.9, 1.1) == pytest.approx(
+            ldo.switch_time_ns(1.1, 0.9)
+        )
+
+    def test_switch_within_tolerance_is_free(self, ldo):
+        assert ldo.switch_time_ns(1.0, 1.0) == 0.0
+
+
+class TestWaveforms:
+    def test_switch_waveform_endpoints(self, ldo):
+        wf = ldo.switch_transient(0.8, 1.2)
+        assert wf.v[0] == pytest.approx(0.8, abs=1e-6)
+        assert wf.v[-1] == pytest.approx(1.2, abs=SETTLE_EPS_V)
+
+    def test_switch_waveform_monotone_rising(self, ldo):
+        wf = ldo.switch_transient(0.8, 1.2)
+        assert np.all(np.diff(wf.v) >= -1e-12)
+
+    def test_switch_waveform_monotone_falling(self, ldo):
+        wf = ldo.switch_transient(1.2, 0.8)
+        assert np.all(np.diff(wf.v) <= 1e-12)
+
+    def test_measured_settling_matches_closed_form(self, ldo):
+        wf = ldo.switch_transient(0.8, 1.2)
+        measured = wf.settling_time_ns(ldo.settle_eps_v)
+        assert measured == pytest.approx(
+            ldo.switch_time_ns(0.8, 1.2), abs=2 * DEFAULT_DT_NS
+        )
+
+    def test_wakeup_waveform_starts_at_zero(self, ldo):
+        wf = ldo.wakeup_transient(0.8)
+        assert wf.v[0] == pytest.approx(0.0, abs=1e-6)
+        assert wf.v_to == 0.8
+
+    def test_wakeup_waveform_measured_settling(self, ldo):
+        wf = ldo.wakeup_transient(1.0)
+        assert wf.settling_time_ns(ldo.settle_eps_v) == pytest.approx(
+            ldo.wakeup_time_ns(1.0), abs=0.05
+        )
+
+    def test_gate_transient_mirrors_wakeup(self, ldo):
+        down = ldo.gate_transient(0.8)
+        assert down.v[0] == pytest.approx(0.8, abs=1e-6)
+        assert down.v_to == 0.0
+        assert down.settling_time_ns(ldo.settle_eps_v) == pytest.approx(
+            ldo.wakeup_time_ns(0.8), abs=0.05
+        )
+
+    def test_settled_waveform_reports_zero(self, ldo):
+        wf = ldo.switch_transient(1.0, 1.0, duration_ns=1.0)
+        assert wf.settling_time_ns(ldo.settle_eps_v) == 0.0
+
+    def test_unsettled_window_raises(self, ldo):
+        wf = ldo.switch_transient(0.8, 1.2, duration_ns=1.0)
+        with pytest.raises(ValueError):
+            wf.settling_time_ns(ldo.settle_eps_v)
+
+
+class TestValidation:
+    def test_bad_tau(self):
+        with pytest.raises(ValueError):
+            LdoModel(tau_switch_ns=0)
+
+    def test_bad_eps(self):
+        with pytest.raises(ValueError):
+            LdoModel(settle_eps_v=0.5)
+
+    def test_bad_wake_base(self):
+        with pytest.raises(ValueError):
+            LdoModel(wake_base_ns=-1)
+
+    def test_wakeup_to_zero_raises(self, ldo):
+        with pytest.raises(ValueError):
+            ldo.wakeup_time_ns(0.0)
+
+
+class TestProperties:
+    @given(
+        v_from=st.floats(min_value=0.8, max_value=1.2),
+        dv=st.floats(min_value=0.02, max_value=0.4),
+    )
+    def test_settling_time_grows_with_step(self, v_from, dv):
+        ldo = LdoModel()
+        small = ldo.switch_time_ns(v_from, min(v_from + dv / 2, 1.2))
+        large = ldo.switch_time_ns(v_from, min(v_from + dv, 1.2))
+        assert large >= small - 1e-9
+
+    @given(v=st.floats(min_value=0.5, max_value=1.5))
+    def test_wakeup_time_increases_with_voltage(self, v):
+        ldo = LdoModel()
+        assert ldo.wakeup_time_ns(v + 0.1) > ldo.wakeup_time_ns(v)

@@ -1,0 +1,72 @@
+"""Tests for mode-selection accuracy and regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TrainingError
+from repro.ml.metrics import mode_confusion, mode_selection_accuracy, r_squared
+
+
+class TestModeSelectionAccuracy:
+    def test_perfect_when_same_band(self):
+        # Different values in the same threshold band are still "accurate".
+        y_true = np.array([0.01, 0.07, 0.15, 0.22, 0.8])
+        y_pred = np.array([0.04, 0.09, 0.11, 0.24, 0.26])
+        assert mode_selection_accuracy(y_true, y_pred) == 1.0
+
+    def test_zero_when_always_wrong_band(self):
+        y_true = np.array([0.01, 0.30])
+        y_pred = np.array([0.30, 0.01])
+        assert mode_selection_accuracy(y_true, y_pred) == 0.0
+
+    def test_partial(self):
+        y_true = np.array([0.01, 0.30, 0.15, 0.07])
+        y_pred = np.array([0.02, 0.30, 0.02, 0.30])
+        assert mode_selection_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            mode_selection_accuracy(np.ones(2), np.ones(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            mode_selection_accuracy(np.empty(0), np.empty(0))
+
+
+class TestConfusion:
+    def test_diagonal_for_perfect(self):
+        y = np.array([0.01, 0.07, 0.15, 0.22, 0.8])
+        conf = mode_confusion(y, y)
+        assert np.trace(conf) == 5
+        assert conf.sum() == 5
+
+    def test_off_diagonal_for_misses(self):
+        conf = mode_confusion(np.array([0.01]), np.array([0.30]))
+        assert conf[0, 4] == 1  # true M3 predicted M7
+
+    def test_shape(self):
+        conf = mode_confusion(np.array([0.0]), np.array([0.0]))
+        assert conf.shape == (5, 5)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            mode_confusion(np.ones(2), np.ones(1))
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_mean_predictor_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_truth(self):
+        y = np.array([2.0, 2.0])
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, np.array([2.0, 3.0])) == 0.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(TrainingError):
+            r_squared(np.array([1.0]), np.array([1.0]))

@@ -1,0 +1,98 @@
+"""Tests for predictor diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TrainingError
+from repro.ml.analysis import (
+    feature_importance,
+    learning_curve,
+    prediction_calibration,
+)
+
+
+@pytest.fixture(scope="module")
+def synthetic_data():
+    """Labels driven almost entirely by feature 'x1'; 'noise' is junk."""
+    rng = np.random.default_rng(42)
+    n = 600
+    x1 = rng.uniform(0, 0.4, n)
+    noise = rng.normal(size=n)
+    x = np.column_stack([np.ones(n), x1, noise])
+    y = np.clip(0.9 * x1 + 0.01 * rng.normal(size=n), 0, 1)
+    names = ("bias", "x1", "noise")
+    half = n // 2
+    return (x[:half], y[:half], x[half:], y[half:], names)
+
+
+class TestFeatureImportance:
+    def test_informative_feature_ranks_first(self, synthetic_data):
+        xt, yt, xv, yv, names = synthetic_data
+        imps = feature_importance(xt, yt, xv, yv, names)
+        assert imps[0].feature == "x1"
+        assert imps[0].accuracy_drop > 0.1
+        assert imps[0].rmse_increase > 0.0
+
+    def test_junk_feature_ranks_last(self, synthetic_data):
+        xt, yt, xv, yv, names = synthetic_data
+        imps = feature_importance(xt, yt, xv, yv, names)
+        by_name = {i.feature: i for i in imps}
+        assert abs(by_name["noise"].accuracy_drop) < 0.05
+
+    def test_name_count_validated(self, synthetic_data):
+        xt, yt, xv, yv, _ = synthetic_data
+        with pytest.raises(TrainingError):
+            feature_importance(xt, yt, xv, yv, ("just_one",))
+
+
+class TestLearningCurve:
+    def test_points_ordered_and_improving(self, synthetic_data):
+        xt, yt, xv, yv, _ = synthetic_data
+        points = learning_curve(xt, yt, xv, yv, fractions=(0.05, 1.0))
+        assert points[0].n_samples < points[1].n_samples
+        # Full data should be at least as accurate as a tiny subsample.
+        assert points[1].accuracy >= points[0].accuracy - 0.05
+
+    def test_deterministic_given_seed(self, synthetic_data):
+        xt, yt, xv, yv, _ = synthetic_data
+        a = learning_curve(xt, yt, xv, yv, seed=1)
+        b = learning_curve(xt, yt, xv, yv, seed=1)
+        assert [(p.n_samples, p.accuracy) for p in a] == [
+            (p.n_samples, p.accuracy) for p in b
+        ]
+
+    def test_bad_fraction_rejected(self, synthetic_data):
+        xt, yt, xv, yv, _ = synthetic_data
+        with pytest.raises(TrainingError):
+            learning_curve(xt, yt, xv, yv, fractions=(0.0,))
+        with pytest.raises(TrainingError):
+            learning_curve(xt, yt, xv, yv, fractions=())
+
+
+class TestCalibration:
+    def test_regression_to_the_mean_shape(self):
+        # A shrunken predictor: pred = 0.5 * true + 0.05.
+        rng = np.random.default_rng(0)
+        y_true = rng.uniform(0, 0.4, 2000)
+        y_pred = 0.5 * y_true + 0.05
+        bands = prediction_calibration(y_true, y_pred)
+        by_mode = {b.mode: b for b in bands}
+        assert by_mode[3].bias > 0      # over-predicts at the bottom...
+        assert by_mode[7].bias < 0      # ...under-predicts at the top
+
+    def test_counts_partition_samples(self):
+        y = np.array([0.01, 0.07, 0.15, 0.22, 0.5])
+        bands = prediction_calibration(y, y)
+        assert sum(b.n for b in bands) == 5
+        assert all(b.bias == pytest.approx(0.0) for b in bands)
+
+    def test_empty_band_skipped(self):
+        y = np.array([0.01, 0.02])
+        bands = prediction_calibration(y, y)
+        assert [b.mode for b in bands] == [3]
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            prediction_calibration(np.ones(2), np.ones(3))
+        with pytest.raises(TrainingError):
+            prediction_calibration(np.empty(0), np.empty(0))

@@ -1,0 +1,81 @@
+"""Tests for the operating-mode table (Tables II/III constants)."""
+
+import pytest
+
+from repro.core.modes import (
+    MAX_MODE,
+    MIN_MODE,
+    MODE_BY_INDEX,
+    MODE_BY_VOLTAGE,
+    MODE_INACTIVE,
+    MODE_MAX,
+    MODE_MIN,
+    MODE_WAKEUP,
+    MODES,
+    VOLTAGES,
+    mode,
+)
+
+
+class TestModeTable:
+    def test_five_active_modes(self):
+        assert len(MODES) == 5
+        assert [m.index for m in MODES] == [3, 4, 5, 6, 7]
+
+    def test_paper_vf_pairs(self):
+        pairs = [(m.voltage, m.freq_ghz) for m in MODES]
+        assert pairs == [
+            (0.8, 1.0), (0.9, 1.5), (1.0, 1.8), (1.1, 2.0), (1.2, 2.25),
+        ]
+
+    def test_period_ticks_exact(self):
+        assert [m.period_ticks for m in MODES] == [18, 12, 10, 9, 8]
+
+    def test_period_ns(self):
+        assert MODES[0].period_ns == pytest.approx(1.0)
+        assert MODES[-1].period_ns == pytest.approx(1 / 2.25)
+
+    def test_paper_table3_switch_cycles(self):
+        assert [m.t_switch_cycles for m in MODES] == [7, 11, 13, 14, 16]
+
+    def test_paper_table3_wakeup_cycles(self):
+        assert [m.t_wakeup_cycles for m in MODES] == [9, 12, 15, 16, 18]
+
+    def test_paper_table3_breakeven_cycles(self):
+        assert [m.t_breakeven_cycles for m in MODES] == [8, 9, 10, 11, 12]
+
+    def test_monotone_in_voltage_and_frequency(self):
+        volts = [m.voltage for m in MODES]
+        freqs = [m.freq_ghz for m in MODES]
+        assert volts == sorted(volts)
+        assert freqs == sorted(freqs)
+
+    def test_mode_names(self):
+        assert [m.name for m in MODES] == ["M3", "M4", "M5", "M6", "M7"]
+
+
+class TestLookups:
+    def test_mode_by_index(self):
+        assert MODE_BY_INDEX[5].voltage == 1.0
+
+    def test_mode_by_voltage(self):
+        assert MODE_BY_VOLTAGE[0.9].index == 4
+
+    def test_voltages_tuple(self):
+        assert VOLTAGES == (0.8, 0.9, 1.0, 1.1, 1.2)
+
+    def test_min_max_aliases(self):
+        assert MODE_MIN.index == MIN_MODE == 3
+        assert MODE_MAX.index == MAX_MODE == 7
+
+    def test_non_active_mode_numbers(self):
+        assert MODE_INACTIVE == 1
+        assert MODE_WAKEUP == 2
+
+    def test_mode_accessor(self):
+        assert mode(7) is MODE_MAX
+
+    @pytest.mark.parametrize("bad", [0, 1, 2, 8, -3])
+    def test_mode_accessor_rejects_non_active(self, bad):
+        with pytest.raises(ValueError):
+            mode(bad)

@@ -1,0 +1,77 @@
+"""Tests for network assembly and trace loading."""
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.errors import ConfigError
+from repro.core.modes import MODE_MAX
+from repro.noc.network import Network
+from repro.noc.topology import OPPOSITE
+from repro.traffic.trace import KIND_REQUEST, Trace
+
+
+@pytest.fixture
+def net():
+    return Network(SimConfig(topology="mesh", radix=4), MODE_MAX)
+
+
+class TestAssembly:
+    def test_router_count(self, net):
+        assert len(net.routers) == 16
+
+    def test_links_bidirectionally_consistent(self, net):
+        for rid, entries in enumerate(net.links):
+            for port, nbr, opp in entries:
+                assert opp == OPPOSITE[port]
+                back = [e for e in net.links[nbr] if e[1] == rid]
+                assert len(back) == 1
+                assert back[0][0] == opp
+
+    def test_corner_has_two_links(self, net):
+        assert len(net.links[0]) == 2
+
+    def test_neighbor_ids_cached(self, net):
+        assert sorted(net.routers[0].neighbor_ids) == sorted(
+            n for _, n, _ in net.links[0]
+        )
+
+    def test_core_router_map_mesh(self, net):
+        assert net.core_router == list(range(16))
+
+    def test_core_router_map_cmesh(self):
+        net = Network(SimConfig(topology="cmesh", radix=4, concentration=4),
+                      MODE_MAX)
+        assert len(net.core_router) == 64
+        assert net.core_router[0] == 0
+        # core (2, 0) on the 8-wide grid belongs to router (1, 0).
+        assert net.core_router[2] == 1
+
+    def test_coords_cached(self, net):
+        assert net.coord_x[5] == 1
+        assert net.coord_y[5] == 1
+
+
+class TestTraceLoading:
+    def test_entries_split_by_source_router(self, net):
+        trace = Trace.from_entries(
+            [(0, 5, KIND_REQUEST, 1.0), (0, 3, KIND_REQUEST, 2.0),
+             (7, 0, KIND_REQUEST, 3.0)],
+            num_cores=16,
+        )
+        assert net.load_trace(trace) == 3
+        assert len(net.routers[0].inject_queue) == 2
+        assert len(net.routers[7].inject_queue) == 1
+        assert len(net.routers[3].inject_queue) == 0
+
+    def test_queue_sorted_by_time(self, net):
+        trace = Trace.from_entries(
+            [(0, 5, KIND_REQUEST, 9.0), (0, 3, KIND_REQUEST, 2.0)], num_cores=16
+        )
+        net.load_trace(trace)
+        times = [e[0] for e in net.routers[0].inject_queue]
+        assert times == sorted(times)
+
+    def test_core_count_mismatch_rejected(self, net):
+        trace = Trace.empty(64)
+        with pytest.raises(ConfigError):
+            net.load_trace(trace)

@@ -1,0 +1,39 @@
+"""Tests for the Packet entity."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE
+
+
+class TestPacket:
+    def test_construction(self):
+        p = Packet(7, 0, 5, KIND_REQUEST, 1, 12.5)
+        assert p.pid == 7
+        assert (p.src_core, p.dst_core) == (0, 5)
+        assert p.length == 1
+        assert p.inject_ns == 12.5
+        assert p.hops == 0
+        assert p.out_port == -1
+        assert p.tail_tick == 0
+
+    def test_latency_before_ejection_raises(self):
+        p = Packet(0, 0, 1, KIND_REQUEST, 1, 0.0)
+        with pytest.raises(ValueError):
+            _ = p.latency_ns
+
+    def test_latency_after_ejection(self):
+        p = Packet(0, 0, 1, KIND_RESPONSE, 5, 10.0)
+        p.eject_ns = 25.0
+        assert p.latency_ns == pytest.approx(15.0)
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        p = Packet(0, 0, 1, KIND_REQUEST, 1, 0.0)
+        with pytest.raises(AttributeError):
+            p.unknown_field = 1
+
+    def test_repr_mentions_endpoints(self):
+        p = Packet(3, 2, 9, KIND_REQUEST, 4, 0.0)
+        text = repr(p)
+        assert "2->9" in text
+        assert "4f" in text

@@ -1,0 +1,106 @@
+"""Tests for synthetic destination patterns."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TrafficError
+from repro.traffic.patterns import (
+    PATTERNS,
+    bit_complement,
+    generate_pattern_trace,
+    hotspot,
+    neighbor,
+    tornado,
+    transpose,
+    uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestPatternValidity:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_never_self_addressed(self, name, rng):
+        fn = PATTERNS[name]
+        for src in range(16):
+            for _ in range(20):
+                dst = fn(src, 16, rng)
+                assert dst != src
+                assert 0 <= dst < 16
+
+    def test_uniform_covers_domain(self, rng):
+        seen = {uniform(3, 8, rng) for _ in range(500)}
+        assert seen == set(range(8)) - {3}
+
+    def test_transpose_mapping(self, rng):
+        # Core (x=1, y=2) on a 4x4 grid -> core (x=2, y=1).
+        src = 2 * 4 + 1
+        assert transpose(src, 16, rng) == 1 * 4 + 2
+
+    def test_transpose_diagonal_falls_back(self, rng):
+        src = 2 * 4 + 2  # on the diagonal
+        assert transpose(src, 16, rng) != src
+
+    def test_bit_complement(self, rng):
+        assert bit_complement(0b0001, 16, rng) == 0b1110
+
+    def test_tornado_half_row(self, rng):
+        src = 1 * 4 + 0  # (x=0, y=1) on 4x4 -> (x=2, y=1)
+        assert tornado(src, 16, rng) == 1 * 4 + 2
+
+    def test_neighbor_wraps_row(self, rng):
+        src = 0 * 4 + 3
+        assert neighbor(src, 16, rng) == 0
+
+    def test_hotspot_concentrates(self, rng):
+        fn = hotspot(hot_fraction=0.9, num_hot=1)
+        dsts = [fn(5, 16, rng) for _ in range(300)]
+        assert dsts.count(0) > 150  # hot core 0 gets the bulk
+
+    def test_hotspot_validation(self):
+        with pytest.raises(TrafficError):
+            hotspot(hot_fraction=1.5)
+        with pytest.raises(TrafficError):
+            hotspot(num_hot=0)
+
+    def test_grid_patterns_need_square_counts(self, rng):
+        with pytest.raises(TrafficError):
+            transpose(0, 12, rng)
+
+
+class TestPatternTraceGeneration:
+    def test_basic_generation(self):
+        tr = generate_pattern_trace("uniform", 16, 1000.0, 0.01, seed=1)
+        assert len(tr) > 0
+        assert tr.num_cores == 16
+        assert tr.duration_ns <= 1000.0
+
+    def test_deterministic_given_seed(self):
+        a = generate_pattern_trace("uniform", 16, 500.0, 0.02, seed=9)
+        b = generate_pattern_trace("uniform", 16, 500.0, 0.02, seed=9)
+        assert np.array_equal(a.t_ns, b.t_ns)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_rate_controls_volume(self):
+        lo = generate_pattern_trace("uniform", 16, 2000.0, 0.005, seed=3)
+        hi = generate_pattern_trace("uniform", 16, 2000.0, 0.05, seed=3)
+        assert len(hi) > 3 * len(lo)
+
+    def test_zero_rate_gives_empty_trace(self):
+        tr = generate_pattern_trace("uniform", 16, 1000.0, 0.0)
+        assert len(tr) == 0
+
+    def test_invalid_duration(self):
+        with pytest.raises(TrafficError):
+            generate_pattern_trace("uniform", 16, 0.0, 0.01)
+
+    def test_invalid_rate(self):
+        with pytest.raises(TrafficError):
+            generate_pattern_trace("uniform", 16, 100.0, -0.01)
+
+    def test_callable_pattern_accepted(self):
+        tr = generate_pattern_trace(neighbor, 16, 500.0, 0.02, name="nb")
+        assert tr.name == "nb"

@@ -1,0 +1,50 @@
+"""Public-API surface tests: everything advertised imports and is exported.
+
+Guards against __all__ drift — a downstream user following the README or
+the docstrings must find every advertised name.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.common",
+    "repro.core",
+    "repro.noc",
+    "repro.power",
+    "repro.regulator",
+    "repro.traffic",
+    "repro.ml",
+    "repro.experiments",
+)
+
+
+class TestExports:
+    @pytest.mark.parametrize("pkg", PACKAGES)
+    def test_all_names_resolve(self, pkg):
+        module = importlib.import_module(pkg)
+        assert hasattr(module, "__all__"), pkg
+        for name in module.__all__:
+            assert hasattr(module, name), f"{pkg}.{name} missing"
+
+    @pytest.mark.parametrize("pkg", PACKAGES)
+    def test_all_has_no_duplicates(self, pkg):
+        module = importlib.import_module(pkg)
+        assert len(module.__all__) == len(set(module.__all__)), pkg
+
+    def test_readme_quickstart_names(self):
+        # The README quickstart must keep working verbatim.
+        from repro import SimConfig, make_policy, run_simulation  # noqa: F401
+        from repro.traffic import generate_benchmark_trace  # noqa: F401
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("pkg", PACKAGES)
+    def test_module_docstrings_exist(self, pkg):
+        module = importlib.import_module(pkg)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20, pkg

@@ -1,0 +1,45 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig5", "fig6", "fig7", "fig8", "fig9",
+            "cmesh", "epoch_sweep", "feature_ablation",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_extensions_marked(self):
+        for exp_id in ("tidle", "buffers", "ladder"):
+            assert EXPERIMENTS[exp_id].kind == "extension"
+
+    def test_lookup_errors_are_helpful(self):
+        with pytest.raises(KeyError, match="choices"):
+            get_experiment("fig99")
+
+    def test_list_is_sorted(self):
+        ids = [e.id for e in list_experiments()]
+        assert ids == sorted(ids)
+
+    def test_fast_artifacts_run_without_arguments(self):
+        for exp_id in ("table1", "table5", "fig5", "fig6"):
+            exp = get_experiment(exp_id)
+            assert not exp.needs_simulation
+            assert exp.run() is not None
+
+    def test_simulation_experiments_accept_scale(self):
+        from repro.experiments.figures import EvalScale
+
+        exp = get_experiment("tidle")
+        assert exp.needs_simulation
+        points = exp.run(EvalScale.quick())
+        assert len(points) > 0

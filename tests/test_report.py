@@ -1,0 +1,49 @@
+"""Tests for ASCII report formatting."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_distribution,
+    format_percent,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("name", "x"), [("a", 1.0), ("longer", 2.5)])
+        lines = out.splitlines()
+        assert len({line.index("  ") for line in lines if "  " in line}) >= 1
+        assert "longer" in lines[-1]
+
+    def test_floats_formatted(self):
+        out = format_table(("v",), [(1.23456,)])
+        assert "1.235" in out
+
+    def test_custom_float_format(self):
+        out = format_table(("v",), [(1.23456,)], float_fmt="{:.1f}")
+        assert "1.2" in out
+
+    def test_title_and_rule(self):
+        out = format_table(("a",), [("x",)], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_integers_kept_verbatim(self):
+        out = format_table(("n",), [(42,)])
+        assert "42" in out
+
+
+class TestHelpers:
+    def test_format_percent(self):
+        assert format_percent(0.25) == "25.0%"
+        assert format_percent(0.256, digits=0) == "26%"
+
+    def test_format_distribution(self):
+        s = format_distribution({3: 0.5, 7: 0.5})
+        assert s == "M3:50% M7:50%"

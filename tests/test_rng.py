@@ -1,0 +1,57 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng, spawn_rngs, stable_seed
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(7), make_rng(7)
+        assert np.array_equal(a.integers(1000, size=50), b.integers(1000, size=50))
+
+    def test_different_seed_different_stream(self):
+        a, b = make_rng(7), make_rng(8)
+        assert not np.array_equal(
+            a.integers(1000, size=50), b.integers(1000, size=50)
+        )
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_differ(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [r.integers(10**6, size=20) for r in rngs]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic(self):
+        a = [r.integers(100) for r in spawn_rngs(42, 4)]
+        b = [r.integers(100) for r in spawn_rngs(42, 4)]
+        assert a == b
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count_empty(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestStableSeed:
+    def test_deterministic_across_calls(self):
+        assert stable_seed("canneal", 64) == stable_seed("canneal", 64)
+
+    def test_sensitive_to_each_part(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert stable_seed("a", 1) != stable_seed("b", 1)
+
+    def test_in_numpy_seed_range(self):
+        s = stable_seed("anything", 123, "more")
+        assert 0 <= s < 2**63
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert stable_seed("ab", "c") != stable_seed("a", "bc")

@@ -1,0 +1,86 @@
+"""Tests for XY DOR routing with look-ahead."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.routing import next_router, xy_output_port, xy_path
+from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, GridTopology
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return GridTopology(radix=8)
+
+
+class TestOutputPort:
+    def test_same_router_ejects(self, mesh):
+        assert xy_output_port(mesh, 10, 10) == LOCAL
+
+    def test_x_corrected_first(self, mesh):
+        src = mesh.router_at(0, 0)
+        dst = mesh.router_at(5, 5)
+        assert xy_output_port(mesh, src, dst) == EAST
+
+    def test_west_when_dst_left(self, mesh):
+        assert xy_output_port(mesh, mesh.router_at(5, 0), mesh.router_at(2, 0)) == WEST
+
+    def test_y_after_x_aligned(self, mesh):
+        src = mesh.router_at(3, 0)
+        dst = mesh.router_at(3, 6)
+        assert xy_output_port(mesh, src, dst) == SOUTH
+
+    def test_north_when_dst_above(self, mesh):
+        assert xy_output_port(mesh, mesh.router_at(3, 6), mesh.router_at(3, 1)) == NORTH
+
+
+class TestLookahead:
+    def test_next_router_is_neighbor_on_path(self, mesh):
+        src = mesh.router_at(0, 0)
+        dst = mesh.router_at(2, 0)
+        assert next_router(mesh, src, dst) == mesh.router_at(1, 0)
+
+    def test_next_router_none_at_destination(self, mesh):
+        assert next_router(mesh, 5, 5) is None
+
+
+class TestPath:
+    def test_path_endpoints(self, mesh):
+        path = xy_path(mesh, 0, 63)
+        assert path[0] == 0
+        assert path[-1] == 63
+
+    def test_path_length_is_hop_distance(self, mesh):
+        path = xy_path(mesh, 0, 63)
+        assert len(path) == mesh.hop_distance(0, 63) + 1
+
+    def test_path_x_then_y(self, mesh):
+        path = xy_path(mesh, mesh.router_at(0, 0), mesh.router_at(2, 2))
+        coords = [mesh.coords(r) for r in path]
+        assert coords == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_trivial_path(self, mesh):
+        assert xy_path(mesh, 9, 9) == [9]
+
+    @given(
+        src=st.integers(min_value=0, max_value=63),
+        dst=st.integers(min_value=0, max_value=63),
+    )
+    def test_path_always_reaches_destination(self, src, dst):
+        mesh = GridTopology(radix=8)
+        path = xy_path(mesh, src, dst)
+        assert path[-1] == dst
+        # Each hop is a real mesh link.
+        for a, b in zip(path, path[1:]):
+            assert mesh.hop_distance(a, b) == 1
+
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    def test_lookahead_matches_path(self, src, dst):
+        mesh = GridTopology(radix=4)
+        path = xy_path(mesh, src, dst)
+        if len(path) > 1:
+            assert next_router(mesh, src, dst) == path[1]
+        else:
+            assert next_router(mesh, src, dst) is None

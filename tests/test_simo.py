@@ -1,0 +1,73 @@
+"""Tests for the SIMO rail / dropout model (Table I)."""
+
+import pytest
+
+from repro.core.modes import VOLTAGES
+from repro.regulator.simo import (
+    CONVENTIONAL_POWER_SWITCHES,
+    MAX_DROPOUT_V,
+    SIMO_POWER_SWITCHES,
+    SIMO_RAILS,
+    dropout_for,
+    dropout_table,
+    max_dropout,
+    rail_for,
+)
+
+
+class TestRailSelection:
+    def test_rails_are_paper_rails(self):
+        assert SIMO_RAILS == (0.9, 1.1, 1.2)
+
+    @pytest.mark.parametrize(
+        "vout,rail",
+        [(0.8, 0.9), (0.9, 0.9), (1.0, 1.1), (1.1, 1.1), (1.2, 1.2)],
+    )
+    def test_lowest_adequate_rail(self, vout, rail):
+        assert rail_for(vout) == rail
+
+    def test_unservable_voltage_raises(self):
+        with pytest.raises(ValueError):
+            rail_for(1.3)
+
+    def test_exact_rail_match_has_zero_dropout(self):
+        assert dropout_for(0.9) == pytest.approx(0.0)
+        assert dropout_for(1.2) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("vout", VOLTAGES)
+    def test_dropout_never_exceeds_100mv(self, vout):
+        assert dropout_for(vout) <= MAX_DROPOUT_V + 1e-12
+
+    def test_max_dropout_is_100mv(self):
+        assert max_dropout() == pytest.approx(0.1)
+
+
+class TestDropoutTable:
+    def test_three_rows(self):
+        assert len(dropout_table()) == 3
+
+    def test_matches_paper_table1(self):
+        rows = dropout_table()
+        got = [
+            (r.vin, r.vout_min, r.vout_max, r.dropout_min, r.dropout_max)
+            for r in rows
+        ]
+        assert got == [
+            (0.9, 0.8, 0.9, 0.0, pytest.approx(0.1)),
+            (1.1, 1.0, 1.1, 0.0, pytest.approx(0.1)),
+            (1.2, 1.2, 1.2, 0.0, 0.0),
+        ]
+
+    def test_every_dvfs_level_served(self):
+        rows = dropout_table()
+        served = set()
+        for r in rows:
+            served.update(v for v in VOLTAGES if r.vout_min <= v <= r.vout_max)
+        assert served == set(VOLTAGES)
+
+
+class TestComponentCounts:
+    def test_simo_saves_one_switch(self):
+        assert SIMO_POWER_SWITCHES == 5
+        assert CONVENTIONAL_POWER_SWITCHES == 6
+        assert SIMO_POWER_SWITCHES < CONVENTIONAL_POWER_SWITCHES

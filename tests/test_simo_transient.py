@@ -1,0 +1,98 @@
+"""Tests for the time-multiplexed SIMO converter transient model."""
+
+import numpy as np
+import pytest
+
+from repro.regulator.efficiency import ETA_SIMO_STAGE
+from repro.regulator.simo import MAX_DROPOUT_V
+from repro.regulator.simo_transient import SimoConverter
+
+
+@pytest.fixture(scope="module")
+def converter():
+    return SimoConverter()
+
+
+@pytest.fixture(scope="module")
+def result(converter):
+    return converter.simulate(duration_s=10e-6)
+
+
+class TestDcmEnergetics:
+    def test_default_design_is_valid_dcm(self, converter):
+        assert converter.check_dcm()
+
+    def test_slot_charge_balances_load(self, converter):
+        # The triangle charge per slot must equal the load charge drawn
+        # over one multiplex period.
+        for rail in converter.rails:
+            i_pk = converter.required_peak_current(rail)
+            t_rise, t_fall = converter.slot_times(rail)
+            q_slot = 0.5 * i_pk * (t_rise + t_fall)
+            q_load = converter.load_a / converter.f_sw_hz
+            assert q_slot == pytest.approx(q_load, rel=1e-9)
+
+    def test_slopes_follow_inductor_law(self, converter):
+        for rail in converter.rails:
+            i_pk = converter.required_peak_current(rail)
+            t_rise, t_fall = converter.slot_times(rail)
+            # di/dt = V/L on both slopes.
+            assert i_pk / t_rise == pytest.approx(
+                (converter.v_bat - rail) / converter.l_h
+            )
+            assert i_pk / t_fall == pytest.approx(rail / converter.l_h)
+
+    def test_overload_rejected(self):
+        heavy = SimoConverter(load_a=0.5)
+        assert not heavy.check_dcm()
+        with pytest.raises(ValueError):
+            heavy.simulate(duration_s=1e-6)
+
+
+class TestTransient:
+    def test_rails_regulate_at_setpoints(self, result, converter):
+        for rail, arr in result.rail_voltages.items():
+            settled = arr[len(arr) // 2:]
+            assert settled.mean() == pytest.approx(rail, abs=0.02)
+
+    def test_ripple_within_dropout_margin(self, result):
+        # The LDO absorbs converter ripple; it must fit well inside the
+        # 100 mV dropout budget of Table I.
+        assert result.max_ripple_v() < MAX_DROPOUT_V / 2
+
+    def test_inductor_current_returns_to_zero(self, result):
+        # DCM: the current hits zero between slots.
+        assert result.inductor_current_a.min() == pytest.approx(0.0)
+        assert result.inductor_current_a.max() > 0.1
+
+    def test_efficiency_justifies_fitted_stage_constant(self, result):
+        # The first-principles converter efficiency supports the 98.5 %
+        # stage constant used by the Fig 6 system model, within a point.
+        assert abs(result.efficiency - ETA_SIMO_STAGE) < 0.015
+
+    def test_waveform_lengths_consistent(self, result):
+        n = len(result.t_s)
+        assert len(result.inductor_current_a) == n
+        for arr in result.rail_voltages.values():
+            assert len(arr) == n
+        assert np.all(np.diff(result.t_s) >= 0)
+
+
+class TestValidation:
+    def test_rail_above_battery_rejected(self):
+        with pytest.raises(ValueError):
+            SimoConverter(rails=(3.5,))
+
+    def test_empty_rails_rejected(self):
+        with pytest.raises(ValueError):
+            SimoConverter(rails=())
+
+    def test_nonpositive_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SimoConverter(load_a=0)
+        with pytest.raises(ValueError):
+            SimoConverter(l_h=-1)
+
+    def test_bad_duration_rejected(self, converter):
+        with pytest.raises(ValueError):
+            converter.simulate(duration_s=0)

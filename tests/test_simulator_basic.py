@@ -1,0 +1,175 @@
+"""Kernel tests: delivery, cycle-exact timing, drain and horizon semantics."""
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.units import BASE_TICKS_PER_NS
+from repro.core.controller import make_policy
+from repro.noc.simulator import Simulator, run_simulation
+from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace
+
+
+def cfg(**kw):
+    base = dict(topology="mesh", radix=4, concentration=1, epoch_cycles=100)
+    base.update(kw)
+    return SimConfig(**base)
+
+
+def trace_of(entries, n=16):
+    return Trace.from_entries(entries, num_cores=n, name="unit")
+
+
+class TestEmptyNetwork:
+    def test_empty_trace_drains_immediately(self):
+        res = run_simulation(cfg(), Trace.empty(16), make_policy("baseline"))
+        assert res.drained
+        assert res.stats.packets_delivered == 0
+        assert res.stats.packets_injected == 0
+
+    def test_empty_trace_horizon_run_accrues_static(self):
+        res = run_simulation(
+            cfg(horizon_ns=100.0), Trace.empty(16), make_policy("baseline")
+        )
+        # 16 routers at mode 7 for ~100 ns.
+        assert res.accountant.total_static_pj == pytest.approx(
+            16 * 0.054 * 100.0 * 1e3, rel=0.02
+        )
+
+
+class TestCycleExactTiming:
+    def test_single_flit_one_hop_latency(self):
+        # Inject at t=0 from router 0 to its east neighbour (router 1):
+        # commit at tick 0, grant at 8, arrival at 16, eject done at 24.
+        res = run_simulation(
+            cfg(request_flits=1),
+            trace_of([(0, 1, KIND_REQUEST, 0.0)]),
+            make_policy("baseline"),
+        )
+        assert res.stats.packets_delivered == 1
+        assert res.stats.avg_latency_ns == pytest.approx(24 / BASE_TICKS_PER_NS)
+
+    def test_latency_formula_multi_hop(self):
+        # Baseline, L-flit packet over H links: 8 * (1 + L*(H+1)) ticks.
+        for dst, hops in ((1, 1), (2, 2), (3, 3), (15, 6)):
+            res = run_simulation(
+                cfg(request_flits=1),
+                trace_of([(0, dst, KIND_REQUEST, 0.0)]),
+                make_policy("baseline"),
+            )
+            want_ticks = 8 * (1 + 1 * (hops + 1))
+            assert res.stats.avg_latency_ns == pytest.approx(
+                want_ticks / BASE_TICKS_PER_NS
+            ), f"dst={dst}"
+
+    def test_serialization_scales_with_length(self):
+        res = run_simulation(
+            cfg(response_flits=5),
+            trace_of([(0, 1, KIND_RESPONSE, 0.0)]),
+            make_policy("baseline"),
+        )
+        want_ticks = 8 * (1 + 5 * 2)
+        assert res.stats.avg_latency_ns == pytest.approx(
+            want_ticks / BASE_TICKS_PER_NS
+        )
+
+    def test_hops_counted(self):
+        res = run_simulation(
+            cfg(),
+            trace_of([(0, 15, KIND_REQUEST, 0.0)]),
+            make_policy("baseline"),
+        )
+        # 6 link hops + 1 ejection hop.
+        assert res.stats.avg_hops == 7
+
+    def test_xy_order_gives_deterministic_path_energy(self):
+        # One flit over 6 hops + ejection: 7 hop charges at 1.2 V.
+        res = run_simulation(
+            cfg(request_flits=1),
+            trace_of([(0, 15, KIND_REQUEST, 0.0)]),
+            make_policy("baseline"),
+        )
+        assert res.accountant.flit_hops.sum() == 7
+
+
+class TestDrainAndHorizon:
+    def test_drain_delivers_everything(self, tiny_trace):
+        res = run_simulation(cfg(), tiny_trace, make_policy("baseline"))
+        assert res.drained
+        assert res.stats.packets_delivered == len(tiny_trace)
+        assert res.stats.packets_injected == len(tiny_trace)
+
+    def test_horizon_truncates(self):
+        # One packet due long after the horizon: never injected.
+        res = run_simulation(
+            cfg(horizon_ns=50.0),
+            trace_of([(0, 5, KIND_REQUEST, 500.0)]),
+            make_policy("baseline"),
+        )
+        assert not res.drained
+        assert res.stats.packets_injected == 0
+        assert res.elapsed_ns == pytest.approx(50.0, abs=1.0)
+
+    def test_elapsed_is_completion_time_in_drain_mode(self, tiny_trace):
+        res = run_simulation(cfg(), tiny_trace, make_policy("baseline"))
+        assert res.elapsed_ns >= tiny_trace.duration_ns
+
+    def test_deterministic_repeat(self, tiny_trace):
+        a = run_simulation(cfg(), tiny_trace, make_policy("baseline")).summary()
+        b = run_simulation(cfg(), tiny_trace, make_policy("baseline")).summary()
+        assert a == b
+
+    def test_throughput_definition(self, tiny_trace):
+        res = run_simulation(cfg(), tiny_trace, make_policy("baseline"))
+        assert res.throughput_flits_per_ns == pytest.approx(
+            res.stats.flits_delivered / res.elapsed_ns
+        )
+
+
+class TestConservation:
+    def test_no_packet_lost_under_load(self):
+        # Heavy burst into one hotspot: backpressure, no loss.
+        entries = [
+            (src, 5, KIND_REQUEST, 1.0 + 0.05 * i)
+            for i, src in enumerate([0, 1, 2, 3, 4, 6, 7, 8] * 20)
+        ]
+        res = run_simulation(cfg(), trace_of(entries), make_policy("baseline"))
+        assert res.drained
+        assert res.stats.packets_delivered == len(entries)
+
+    def test_secure_refcounts_return_to_zero(self, tiny_trace):
+        sim = Simulator(cfg(), tiny_trace, make_policy("baseline"))
+        sim.run()
+        assert all(r.secure_count == 0 for r in sim.network.routers)
+
+    def test_buffers_empty_after_drain(self, tiny_trace):
+        sim = Simulator(cfg(), tiny_trace, make_policy("baseline"))
+        sim.run()
+        for r in sim.network.routers:
+            assert r.total_occupancy() == 0
+            assert not r.arrivals
+            assert all(b.reserved == 0 for b in r.in_buffers)
+
+    def test_time_accounting_covers_every_router(self, tiny_trace):
+        res = run_simulation(cfg(), tiny_trace, make_policy("baseline"))
+        acc = res.accountant
+        covered = acc.powered_time_ns.sum() + acc.gated_time_ns.sum()
+        assert covered == pytest.approx(res.elapsed_ns * 16, rel=0.02)
+
+    def test_cmesh_delivery(self):
+        config = SimConfig(topology="cmesh", radix=2, concentration=4,
+                           epoch_cycles=100)
+        entries = [(0, 15, KIND_REQUEST, 0.0), (13, 2, KIND_REQUEST, 5.0),
+                   (4, 5, KIND_REQUEST, 7.0)]
+        res = run_simulation(config, trace_of(entries), make_policy("baseline"))
+        assert res.drained
+        assert res.stats.packets_delivered == 3
+
+    def test_cmesh_same_router_delivery(self):
+        # Cores 0 and 1 share router 0 on a 2x2 cmesh: pure local turnaround.
+        config = SimConfig(topology="cmesh", radix=2, concentration=4,
+                           epoch_cycles=100)
+        res = run_simulation(
+            config, trace_of([(0, 1, KIND_REQUEST, 0.0)]), make_policy("baseline")
+        )
+        assert res.stats.packets_delivered == 1
+        assert res.stats.avg_hops == 1  # ejection only

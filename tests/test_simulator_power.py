@@ -1,0 +1,193 @@
+"""Kernel tests for power-gating, wakeup, securing and DVFS switching."""
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.core.modes import MODE_MAX
+from repro.core.states import PowerState
+from repro.noc.simulator import Simulator, run_simulation
+from repro.power.dsent import static_power_w
+from repro.traffic.trace import KIND_REQUEST, Trace
+
+
+def cfg(**kw):
+    base = dict(topology="mesh", radix=4, concentration=1, epoch_cycles=100)
+    base.update(kw)
+    return SimConfig(**base)
+
+
+def trace_of(entries, n=16):
+    return Trace.from_entries(entries, num_cores=n, name="unit")
+
+
+class TestGating:
+    def test_idle_network_gates_after_t_idle(self):
+        # With no traffic at all, every router gates after T-Idle cycles
+        # and stays off: gated fraction approaches 1.
+        res = run_simulation(
+            cfg(horizon_ns=500.0), Trace.empty(16), make_policy("pg")
+        )
+        assert res.accountant.gated_fraction(res.elapsed_ns) > 0.95
+
+    def test_gating_saves_static_energy(self):
+        base = run_simulation(
+            cfg(horizon_ns=500.0), Trace.empty(16), make_policy("baseline")
+        )
+        gated = run_simulation(
+            cfg(horizon_ns=500.0), Trace.empty(16), make_policy("pg")
+        )
+        assert gated.accountant.total_static_pj < 0.1 * base.accountant.total_static_pj
+
+    def test_baseline_never_gates(self, tiny_trace):
+        res = run_simulation(cfg(), tiny_trace, make_policy("baseline"))
+        assert res.accountant.gated_time_ns.sum() == 0.0
+        assert res.accountant.wake_events.sum() == 0
+
+    def test_lead_never_gates(self, tiny_trace):
+        res = run_simulation(cfg(), tiny_trace, make_policy("lead"))
+        assert res.accountant.gated_time_ns.sum() == 0.0
+
+    def test_gated_router_wakes_for_late_injection(self):
+        # Quiet until t=100 ns, then one packet: the source router must be
+        # gated by then, wake (paying T-Wakeup), and still deliver.
+        res = run_simulation(
+            cfg(), trace_of([(0, 5, KIND_REQUEST, 100.0)]), make_policy("pg")
+        )
+        assert res.drained
+        assert res.stats.packets_delivered == 1
+        assert res.accountant.wake_events.sum() >= 2  # source + downstream
+
+    def test_wakeup_adds_latency(self):
+        entries = [(0, 5, KIND_REQUEST, 100.0)]
+        base = run_simulation(cfg(), trace_of(entries), make_policy("baseline"))
+        gated = run_simulation(cfg(), trace_of(entries), make_policy("pg"))
+        # T-Wakeup at mode 7 is 18 cycles of 8/18 ns = 8 ns; source and
+        # downstream wake in parallel-ish but the penalty must show up.
+        assert gated.stats.avg_latency_ns > base.stats.avg_latency_ns + 4.0
+
+    def test_busy_router_does_not_gate(self):
+        # Back-to-back traffic through router 0 keeps it on.
+        entries = [(0, 3, KIND_REQUEST, float(t)) for t in range(0, 100, 2)]
+        sim = Simulator(cfg(horizon_ns=100.0), trace_of(entries), make_policy("pg"))
+        sim.run()
+        assert sim.network.routers[0].total_off_cycles == 0
+
+    def test_wake_events_charged_breakeven(self):
+        res = run_simulation(
+            cfg(), trace_of([(0, 5, KIND_REQUEST, 100.0)]), make_policy("pg")
+        )
+        wakes = res.accountant.wake_events.sum()
+        want = (
+            wakes
+            * static_power_w(MODE_MAX.voltage)
+            * MODE_MAX.t_breakeven_cycles
+            * MODE_MAX.period_ns
+            * 1e3
+        )
+        assert res.accountant.wake_pj.sum() == pytest.approx(want)
+
+
+class TestSecuring:
+    def test_downstream_secured_while_packet_buffered(self):
+        # A packet headed 0 -> 2 secures router 1 the moment it enters
+        # router 0's local buffer.
+        sim = Simulator(
+            cfg(), trace_of([(0, 2, KIND_REQUEST, 0.0)]), make_policy("pg")
+        )
+        # Run a few events manually: fire router 0 once (injection commit).
+        import heapq
+
+        for _ in range(3):
+            tick, rid = heapq.heappop(sim._heap)
+            router = sim.network.routers[rid]
+            if tick != router.next_event_tick:
+                continue
+            sim.now_tick, sim.now_ns = tick, tick / 18
+            sim._fire(router, tick)
+            nxt = tick + router.period_ticks
+            router.next_event_tick = nxt
+            heapq.heappush(sim._heap, (nxt, rid))
+            if rid == 0:
+                break
+        assert sim.network.routers[1].secure_count == 1
+
+    def test_secured_gated_router_wakes_immediately(self):
+        # Router 5 idle-gates; a packet routed through it forces a wake.
+        res = run_simulation(
+            cfg(),
+            trace_of([(4, 6, KIND_REQUEST, 200.0)]),  # route 4 -> 5 -> 6
+            make_policy("pg"),
+        )
+        assert res.drained
+        assert res.stats.packets_delivered == 1
+
+    def test_all_secures_released_after_drain(self):
+        entries = [(i, 15 - i, KIND_REQUEST, float(i)) for i in range(8)]
+        sim = Simulator(cfg(), trace_of(entries), make_policy("pg"))
+        sim.run()
+        assert all(r.secure_count == 0 for r in sim.network.routers)
+
+
+class TestDvfsSwitching:
+    def test_reactive_lead_selects_low_mode_when_quiet(self):
+        # A trickle of traffic: measured IBU < 5 % selects M3 every epoch.
+        entries = [(0, 5, KIND_REQUEST, float(t)) for t in range(0, 900, 100)]
+        sim = Simulator(
+            cfg(horizon_ns=1000.0), trace_of(entries), make_policy("lead")
+        )
+        sim.run()
+        dist = sim.stats.mode_distribution()
+        assert dist[3] > 0.9
+
+    def test_switch_stall_applied(self):
+        # After the first epoch the router switches M7 -> M3 and is stalled
+        # for T-Switch cycles; packets issued during the stall still arrive.
+        entries = [(0, 5, KIND_REQUEST, float(t)) for t in range(0, 400, 7)]
+        res = run_simulation(cfg(), trace_of(entries), make_policy("lead"))
+        assert res.drained
+
+    def test_mode_residency_tracks_switch(self):
+        entries = [(0, 5, KIND_REQUEST, float(t)) for t in range(0, 900, 90)]
+        res = run_simulation(
+            cfg(horizon_ns=1000.0), trace_of(entries), make_policy("lead")
+        )
+        acc = res.accountant
+        t_m3 = acc.mode_time_ns[3].sum()
+        t_m7 = acc.mode_time_ns[7].sum()
+        assert t_m3 > 0  # switched down after first epoch
+        assert t_m7 > 0  # started at mode 7
+        # Low traffic: the bulk of time is at the low mode.
+        assert t_m3 > t_m7
+
+    def test_lower_modes_consume_less_static(self):
+        entries = [(0, 5, KIND_REQUEST, float(t)) for t in range(0, 900, 90)]
+        base = run_simulation(
+            cfg(horizon_ns=1000.0), trace_of(entries), make_policy("baseline")
+        )
+        lead = run_simulation(
+            cfg(horizon_ns=1000.0), trace_of(entries), make_policy("lead")
+        )
+        assert lead.accountant.total_static_pj < base.accountant.total_static_pj
+        assert lead.accountant.total_dynamic_pj < base.accountant.total_dynamic_pj
+
+    def test_dozznoc_combines_both_savings(self):
+        entries = [(0, 5, KIND_REQUEST, float(t)) for t in range(0, 900, 90)]
+        pg = run_simulation(
+            cfg(horizon_ns=1000.0), trace_of(entries), make_policy("pg")
+        )
+        dozz = run_simulation(
+            cfg(horizon_ns=1000.0), trace_of(entries), make_policy("dozznoc")
+        )
+        # DozzNoC adds DVFS on top of gating: its *dynamic* energy drops
+        # below PG's (which always hops at mode 7).
+        assert dozz.accountant.dynamic_pj.sum() < pg.accountant.dynamic_pj.sum()
+
+    def test_gated_router_retargets_mode_for_free(self):
+        # A router that is off at the epoch boundary adopts the newly
+        # selected mode without a T-Switch stall (checked indirectly: no
+        # switch events recorded while inactive).
+        res = run_simulation(
+            cfg(horizon_ns=600.0), Trace.empty(16), make_policy("dozznoc")
+        )
+        assert res.accountant.gated_fraction(res.elapsed_ns) > 0.9

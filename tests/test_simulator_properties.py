@@ -1,0 +1,117 @@
+"""Property-based kernel tests: conservation under random traffic/policies."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.noc.simulator import Simulator
+from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace
+
+
+@st.composite
+def random_traffic(draw):
+    """A random small trace plus a policy name."""
+    n_cores = 9  # 3x3 mesh
+    n = draw(st.integers(min_value=0, max_value=25))
+    entries = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=60.0))
+        src = draw(st.integers(0, n_cores - 1))
+        dst = draw(st.integers(0, n_cores - 2))
+        if dst >= src:
+            dst += 1
+        kind = draw(st.sampled_from([KIND_REQUEST, KIND_RESPONSE]))
+        entries.append((src, dst, kind, t))
+    policy = draw(st.sampled_from(["baseline", "pg", "lead", "dozznoc",
+                                   "turbo"]))
+    return entries, policy
+
+
+CFG = SimConfig(topology="mesh", radix=3, concentration=1, epoch_cycles=80)
+
+
+class TestKernelProperties:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(random_traffic())
+    def test_drain_conserves_packets(self, data):
+        entries, policy = data
+        trace = Trace.from_entries(entries, 9, "prop")
+        sim = Simulator(CFG, trace, make_policy(policy))
+        result = sim.run()
+        assert result.drained
+        assert result.stats.packets_delivered == len(entries)
+        assert result.stats.packets_injected == len(entries)
+        # All holds released, all buffers empty, nothing in flight.
+        for r in sim.network.routers:
+            assert r.secure_count == 0
+            assert r.total_occupancy() == 0
+            assert not r.arrivals
+            assert all(b.reserved == 0 for b in r.in_buffers)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(random_traffic())
+    def test_energy_accounting_is_complete(self, data):
+        entries, policy = data
+        trace = Trace.from_entries(entries, 9, "prop")
+        result = Simulator(CFG, trace, make_policy(policy)).run()
+        acc = result.accountant
+        covered = acc.powered_time_ns.sum() + acc.gated_time_ns.sum()
+        # Every router's wall-clock is billed either powered or gated (an
+        # empty trace drains at t=0 with nothing to bill).
+        if entries:
+            assert covered == pytest.approx(result.elapsed_ns * 9, rel=0.05)
+        else:
+            assert covered == 0.0
+        # Energies are non-negative and finite.
+        for arr in (acc.static_pj, acc.dynamic_pj, acc.wake_pj, acc.ml_pj):
+            assert np.all(arr >= 0)
+            assert np.all(np.isfinite(arr))
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(random_traffic())
+    def test_simulation_is_deterministic(self, data):
+        entries, policy = data
+        trace = Trace.from_entries(entries, 9, "prop")
+        a = Simulator(CFG, trace, make_policy(policy)).run().summary()
+        b = Simulator(CFG, trace, make_policy(policy)).run().summary()
+        assert a == b
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(random_traffic())
+    def test_latencies_lower_bounded_by_physics(self, data):
+        entries, policy = data
+        trace = Trace.from_entries(entries, 9, "prop")
+        sim = Simulator(CFG, trace, make_policy(policy))
+        result = sim.run()
+        # No packet can beat 2 mode-7 cycles (inject->grant->eject minimum).
+        if result.stats.latencies_ns:
+            assert min(result.stats.latencies_ns) >= 2 * (8 / 18) - 1e-9
+
+
+class TestEdp:
+    def test_edp_definition(self, tiny_trace):
+        cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=100)
+        result = Simulator(cfg, tiny_trace, make_policy("baseline")).run()
+        assert result.energy_delay_product == pytest.approx(
+            result.accountant.total_pj * result.stats.avg_latency_ns
+        )
+        assert result.summary()["edp_pj_ns"] == result.energy_delay_product

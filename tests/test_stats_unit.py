@@ -1,0 +1,89 @@
+"""Unit tests for NetworkStats and the epoch-record capture protocol."""
+
+import numpy as np
+import pytest
+
+from repro.noc.stats import NetworkStats
+
+
+class TestDeliveryMetrics:
+    def test_empty_stats(self):
+        s = NetworkStats()
+        assert s.avg_latency_ns == 0.0
+        assert s.avg_hops == 0.0
+        assert s.latency_percentile(99) == 0.0
+
+    def test_throughput(self):
+        s = NetworkStats()
+        s.record_delivery(10.0, flits=5, hops=3)
+        s.record_delivery(20.0, flits=1, hops=2)
+        assert s.throughput_flits_per_ns(3.0) == pytest.approx(2.0)
+        assert s.avg_latency_ns == pytest.approx(15.0)
+        assert s.avg_hops == pytest.approx(2.5)
+
+    def test_throughput_needs_positive_elapsed(self):
+        with pytest.raises(ValueError):
+            NetworkStats().throughput_flits_per_ns(0.0)
+
+    def test_latency_sample_bounded(self):
+        s = NetworkStats(max_latency_sample=3)
+        for i in range(10):
+            s.record_delivery(float(i), 1, 1)
+        assert len(s.latencies_ns) == 3
+        assert s.packets_delivered == 10  # counting is not sampled
+
+    def test_percentile(self):
+        s = NetworkStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.record_delivery(v, 1, 1)
+        assert s.latency_percentile(50) == pytest.approx(2.5)
+
+
+class TestModeSelections:
+    def test_distribution_normalizes(self):
+        s = NetworkStats()
+        for m in (3, 3, 7):
+            s.record_mode_selection(m)
+        dist = s.mode_distribution()
+        assert dist[3] == pytest.approx(2 / 3)
+        assert dist[7] == pytest.approx(1 / 3)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_empty_distribution_is_zero(self):
+        dist = NetworkStats().mode_distribution()
+        assert set(dist) == {3, 4, 5, 6, 7}
+        assert all(v == 0.0 for v in dist.values())
+
+
+class TestEpochRecords:
+    def test_label_filled_by_next_epoch(self):
+        s = NetworkStats()
+        s.record_epoch_features(0, 0, np.array([1.0, 0.1]), current_ibu=0.1)
+        s.record_epoch_features(0, 1, np.array([1.0, 0.2]), current_ibu=0.2)
+        s.record_epoch_features(0, 2, np.array([1.0, 0.3]), current_ibu=0.3)
+        labels = [r.label for r in s.epoch_records]
+        assert labels[0] == pytest.approx(0.2)
+        assert labels[1] == pytest.approx(0.3)
+        assert np.isnan(labels[2])  # last epoch: future unobserved
+
+    def test_routers_do_not_cross_label(self):
+        s = NetworkStats()
+        s.record_epoch_features(0, 0, np.array([1.0]), current_ibu=0.1)
+        s.record_epoch_features(1, 0, np.array([1.0]), current_ibu=0.9)
+        s.record_epoch_features(0, 1, np.array([1.0]), current_ibu=0.2)
+        by_router = {r.router: r for r in s.epoch_records if r.epoch == 0}
+        assert by_router[0].label == pytest.approx(0.2)
+        assert np.isnan(by_router[1].label)
+
+    def test_training_matrices_drop_unlabelled(self):
+        s = NetworkStats()
+        s.record_epoch_features(0, 0, np.array([1.0, 0.5]), 0.1)
+        s.record_epoch_features(0, 1, np.array([1.0, 0.6]), 0.25)
+        x, y = s.training_matrices()
+        assert x.shape == (1, 2)
+        assert y[0] == pytest.approx(0.25)
+
+    def test_training_matrices_empty(self):
+        x, y = NetworkStats().training_matrices()
+        assert x.size == 0
+        assert y.size == 0

@@ -1,0 +1,127 @@
+"""Stress and failure-injection tests: extreme configs and hostile inputs."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.noc.simulator import run_simulation
+from repro.noc.topology import GridTopology
+from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace
+
+
+def trace_of(entries, n):
+    return Trace.from_entries(entries, num_cores=n, name="stress")
+
+
+class TestExtremeTopologies:
+    def test_minimum_mesh_2x2(self):
+        cfg = SimConfig(topology="mesh", radix=2, epoch_cycles=50)
+        entries = [(0, 3, KIND_REQUEST, float(t)) for t in range(0, 50, 5)]
+        res = run_simulation(cfg, trace_of(entries, 4), make_policy("dozznoc"))
+        assert res.drained
+        assert res.stats.packets_delivered == len(entries)
+
+    def test_cmesh_concentration_9(self):
+        # 2x2 routers, 9 cores each (3x3 blocks) -> 36 cores.
+        topo = GridTopology(radix=2, concentration=9)
+        assert topo.num_cores == 36
+        all_cores = sorted(
+            c for r in range(4) for c in topo.cores_of_router(r)
+        )
+        assert all_cores == list(range(36))
+        cfg = SimConfig(topology="cmesh", radix=2, concentration=9,
+                        epoch_cycles=50)
+        entries = [(0, 35, KIND_REQUEST, 0.0), (20, 1, KIND_REQUEST, 3.0)]
+        res = run_simulation(cfg, trace_of(entries, 36), make_policy("pg"))
+        assert res.stats.packets_delivered == 2
+
+    def test_large_mesh_16x16(self):
+        cfg = SimConfig(topology="mesh", radix=16, epoch_cycles=100)
+        entries = [(0, 255, KIND_REQUEST, 0.0)]
+        res = run_simulation(cfg, trace_of(entries, 256),
+                             make_policy("baseline"))
+        assert res.stats.packets_delivered == 1
+        assert res.stats.avg_hops == 31  # 30 links + ejection
+
+
+class TestTightBuffers:
+    def test_buffer_exactly_packet_length(self):
+        # Minimum legal depth: a single response fills the whole FIFO.
+        cfg = SimConfig(topology="mesh", radix=4, buffer_depth=5,
+                        response_flits=5, epoch_cycles=50)
+        entries = [(0, 15, KIND_RESPONSE, float(t)) for t in range(0, 40, 2)]
+        res = run_simulation(cfg, trace_of(entries, 16),
+                             make_policy("baseline"))
+        assert res.drained
+        assert res.stats.packets_delivered == len(entries)
+
+    def test_hotspot_saturation_no_loss(self):
+        # Everyone floods one sink far beyond its ejection bandwidth.
+        cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=100)
+        entries = [
+            (src, 0, KIND_RESPONSE, 0.5 * i)
+            for i, src in enumerate(list(range(1, 16)) * 15)
+        ]
+        res = run_simulation(cfg, trace_of(entries, 16),
+                             make_policy("baseline"))
+        assert res.drained
+        assert res.stats.packets_delivered == len(entries)
+        # Saturated sink: completion takes much longer than the trace.
+        assert res.elapsed_ns > 2 * 0.5 * len(entries) / 15
+
+
+class TestHostileTraces:
+    def test_simultaneous_injections_everywhere(self):
+        cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=50)
+        entries = [(c, 15 - c, KIND_REQUEST, 0.0) for c in range(16)
+                   if c != 15 - c]
+        res = run_simulation(cfg, trace_of(entries, 16), make_policy("turbo"))
+        assert res.stats.packets_delivered == len(entries)
+
+    def test_far_future_single_packet_with_gating(self):
+        # The whole network sleeps for ~900 ns, then one packet arrives.
+        cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=50)
+        res = run_simulation(
+            cfg, trace_of([(5, 10, KIND_REQUEST, 900.0)], 16),
+            make_policy("dozznoc"),
+        )
+        assert res.stats.packets_delivered == 1
+        assert res.accountant.gated_fraction(res.elapsed_ns) > 0.8
+
+    def test_duplicate_timestamps(self):
+        cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=50)
+        entries = [(0, 5, KIND_REQUEST, 7.0)] * 6
+        res = run_simulation(cfg, trace_of(entries, 16),
+                             make_policy("baseline"))
+        assert res.stats.packets_delivered == 6
+
+    def test_nan_weights_rejected_at_policy_level(self):
+        with pytest.raises(ValueError):
+            # shape is right but contents are garbage: prediction would be
+            # NaN; the policy cannot catch values, but the trainer never
+            # produces them (fit_ridge rejects non-finite data), so the
+            # only NaN path is a bad shape or a hand-made array.
+            make_policy("lead", weights=np.zeros(4))
+
+    def test_response_only_trace(self):
+        cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=50)
+        entries = [(1, 2, KIND_RESPONSE, float(t)) for t in range(5)]
+        res = run_simulation(cfg, trace_of(entries, 16), make_policy("lead"))
+        assert res.stats.flits_delivered == 5 * cfg.response_flits
+
+
+class TestHorizonEdge:
+    def test_horizon_shorter_than_first_cycle(self):
+        cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=50,
+                        horizon_ns=0.1)
+        res = run_simulation(cfg, trace_of([(0, 5, KIND_REQUEST, 0.0)], 16),
+                             make_policy("baseline"))
+        assert res.stats.packets_delivered == 0
+
+    def test_zero_duration_trace_with_horizon(self):
+        cfg = SimConfig(topology="mesh", radix=4, epoch_cycles=50,
+                        horizon_ns=200.0)
+        res = run_simulation(cfg, Trace.empty(16), make_policy("dozznoc"))
+        assert res.stats.packets_injected == 0
+        assert res.accountant.gated_fraction(res.elapsed_ns) > 0.5

@@ -1,0 +1,71 @@
+"""Tests for the 14-trace suite builder and its on-disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.benchmarks import (
+    TEST_BENCHMARKS,
+    TRAIN_BENCHMARKS,
+    VALIDATION_BENCHMARKS,
+)
+from repro.traffic.suite import TraceSuite, benchmark_names, build_suite
+
+
+class TestBuildSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return build_suite(num_cores=16, duration_ns=600.0)
+
+    def test_split_sizes(self, suite):
+        assert len(suite.train) == 6
+        assert len(suite.validation) == 3
+        assert len(suite.test) == 5
+
+    def test_names_match_split(self, suite):
+        assert tuple(t.name for t in suite.train) == TRAIN_BENCHMARKS
+        assert tuple(t.name for t in suite.validation) == VALIDATION_BENCHMARKS
+        assert tuple(t.name for t in suite.test) == TEST_BENCHMARKS
+
+    def test_all_traces_property(self, suite):
+        assert len(suite.all_traces) == 14
+        assert isinstance(suite, TraceSuite)
+
+    def test_compressed_suite_shrinks(self):
+        plain = build_suite(num_cores=16, duration_ns=1_500.0)
+        comp = build_suite(num_cores=16, duration_ns=1_500.0, compressed=True)
+        for a, b in zip(plain.all_traces, comp.all_traces):
+            assert len(a) > 0  # at this duration every benchmark emits
+            assert b.duration_ns == pytest.approx(0.6 * a.duration_ns)
+            assert b.name.endswith(".compressed")
+
+    def test_seed_changes_suite(self):
+        a = build_suite(num_cores=16, duration_ns=600.0, seed=0)
+        b = build_suite(num_cores=16, duration_ns=600.0, seed=1)
+        assert len(a.train[0]) != len(b.train[0]) or not np.array_equal(
+            a.train[0].t_ns, b.train[0].t_ns
+        )
+
+
+class TestSuiteCache:
+    def test_cache_writes_and_reuses(self, tmp_path):
+        a = build_suite(num_cores=16, duration_ns=400.0, cache_dir=tmp_path)
+        files = sorted(tmp_path.glob("*.npz"))
+        assert len(files) == 14
+        mtimes = [f.stat().st_mtime_ns for f in files]
+        b = build_suite(num_cores=16, duration_ns=400.0, cache_dir=tmp_path)
+        assert [f.stat().st_mtime_ns for f in sorted(tmp_path.glob("*.npz"))] == mtimes
+        for x, y in zip(a.all_traces, b.all_traces):
+            assert np.array_equal(x.t_ns, y.t_ns)
+
+    def test_cache_key_includes_compression(self, tmp_path):
+        build_suite(num_cores=16, duration_ns=400.0, cache_dir=tmp_path)
+        build_suite(num_cores=16, duration_ns=400.0, cache_dir=tmp_path,
+                    compressed=True)
+        assert len(list(tmp_path.glob("*.npz"))) == 28
+
+
+class TestNames:
+    def test_benchmark_names_sorted_and_complete(self):
+        names = benchmark_names()
+        assert names == sorted(names)
+        assert len(names) == 14

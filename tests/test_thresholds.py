@@ -1,0 +1,71 @@
+"""Tests for Fig 3b threshold mode selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.states import PowerState
+from repro.core.thresholds import (
+    SATURATED_MODE,
+    THRESHOLDS,
+    mode_for_utilization,
+    mode_index_for_utilization,
+)
+
+
+class TestThresholdBoundaries:
+    @pytest.mark.parametrize(
+        "u,expected",
+        [
+            (0.0, 3),
+            (0.049, 3),
+            (0.05, 4),   # boundary belongs to the higher mode
+            (0.099, 4),
+            (0.10, 5),
+            (0.199, 5),
+            (0.20, 6),
+            (0.249, 6),
+            (0.25, 7),
+            (0.5, 7),
+            (1.0, 7),
+        ],
+    )
+    def test_paper_bands(self, u, expected):
+        assert mode_index_for_utilization(u) == expected
+
+    def test_negative_prediction_clamps_low(self):
+        assert mode_index_for_utilization(-0.3) == 3
+
+    def test_above_one_clamps_high(self):
+        assert mode_index_for_utilization(1.7) == SATURATED_MODE
+
+    def test_mode_object_variant(self):
+        assert mode_for_utilization(0.12).index == 5
+        assert mode_for_utilization(0.12).voltage == 1.0
+
+    def test_threshold_table_shape(self):
+        assert THRESHOLDS == ((0.05, 3), (0.10, 4), (0.20, 5), (0.25, 6))
+
+
+class TestThresholdProperties:
+    @given(st.floats(min_value=-2, max_value=2, allow_nan=False))
+    def test_always_returns_active_mode(self, u):
+        assert 3 <= mode_index_for_utilization(u) <= 7
+
+    @given(
+        st.floats(min_value=-1, max_value=2, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    )
+    def test_monotone_in_utilization(self, u, delta):
+        assert mode_index_for_utilization(u + delta) >= mode_index_for_utilization(u)
+
+
+class TestPowerStateEnum:
+    def test_values_match_paper_mode_numbers(self):
+        assert PowerState.INACTIVE == 1
+        assert PowerState.WAKEUP == 2
+        assert PowerState.ACTIVE == 3
+
+    def test_only_active_transports(self):
+        assert PowerState.ACTIVE.can_transport
+        assert not PowerState.WAKEUP.can_transport
+        assert not PowerState.INACTIVE.can_transport

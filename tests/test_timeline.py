@@ -1,0 +1,99 @@
+"""Tests for the timeline sampler (energy proportionality over time)."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.noc.simulator import run_simulation
+from repro.noc.timeline import TimelineSampler
+from repro.power.dsent import static_power_w
+from repro.traffic.benchmarks import generate_benchmark_trace
+from repro.traffic.trace import Trace
+
+
+def cfg(**kw):
+    base = dict(topology="mesh", radix=4, epoch_cycles=100)
+    base.update(kw)
+    return SimConfig(**base)
+
+
+class TestSampling:
+    def test_sampler_validates_interval(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(interval_ns=0)
+
+    def test_sampling_cadence(self):
+        tl = TimelineSampler(interval_ns=50.0)
+        trace = generate_benchmark_trace("water", 16, 1_000.0)
+        run_simulation(cfg(), trace, make_policy("baseline"), timeline=tl)
+        assert len(tl.samples) >= 15
+        dt = np.diff(tl.column("t_ns"))
+        assert np.all(dt >= 50.0 - 1e-9)
+
+    def test_counts_partition_routers(self):
+        tl = TimelineSampler(interval_ns=40.0)
+        trace = generate_benchmark_trace("water", 16, 1_000.0)
+        run_simulation(cfg(), trace, make_policy("dozznoc"), timeline=tl)
+        for s in tl.samples:
+            assert s.active_routers + s.waking_routers + s.gated_routers == 16
+            assert sum(s.mode_counts.values()) == s.active_routers
+
+    def test_baseline_never_gates_in_samples(self):
+        tl = TimelineSampler(interval_ns=40.0)
+        trace = generate_benchmark_trace("water", 16, 800.0)
+        run_simulation(cfg(), trace, make_policy("baseline"), timeline=tl)
+        assert np.all(tl.column("gated_routers") == 0)
+        # All 16 routers at mode 7 -> constant full static power.
+        assert np.allclose(
+            tl.column("static_power_w"), 16 * static_power_w(1.2)
+        )
+
+    def test_gating_policy_shows_gated_routers(self):
+        tl = TimelineSampler(interval_ns=40.0)
+        trace = generate_benchmark_trace("swaptions", 16, 1_500.0)
+        run_simulation(cfg(), trace, make_policy("pg"), timeline=tl)
+        assert tl.column("gated_routers").max() > 8
+
+    def test_column_requires_samples(self):
+        with pytest.raises(ValueError):
+            TimelineSampler().column("t_ns")
+
+
+class TestProportionality:
+    def test_dozznoc_power_tracks_demand(self):
+        # On a phase-structured trace, DozzNoC's instantaneous static power
+        # must correlate positively with buffer utilization over time —
+        # the energy-proportionality the paper targets.
+        tl = TimelineSampler(interval_ns=60.0)
+        trace = generate_benchmark_trace("bodytrack", 16, 3_000.0)
+        run_simulation(cfg(), trace, make_policy("dozznoc"), timeline=tl)
+        assert tl.proportionality() > 0.3
+
+    def test_baseline_is_not_proportional(self):
+        tl = TimelineSampler(interval_ns=60.0)
+        trace = generate_benchmark_trace("bodytrack", 16, 3_000.0)
+        run_simulation(cfg(), trace, make_policy("baseline"), timeline=tl)
+        # Constant power: correlation undefined.
+        assert np.isnan(tl.proportionality())
+
+    def test_proportionality_needs_enough_samples(self):
+        tl = TimelineSampler(interval_ns=1e6)
+        trace = Trace.from_entries([(0, 5, 0, 10.0)], 16)
+        run_simulation(cfg(), trace, make_policy("dozznoc"), timeline=tl)
+        assert np.isnan(tl.proportionality())
+
+
+class TestRendering:
+    def test_ascii_plot(self):
+        tl = TimelineSampler(interval_ns=60.0)
+        trace = generate_benchmark_trace("bodytrack", 16, 1_500.0)
+        run_simulation(cfg(), trace, make_policy("dozznoc"), timeline=tl)
+        out = tl.render_ascii(height=4, width=40)
+        assert "gated routers" in out
+        assert "mean IBU" in out
+        assert "time: 0 .." in out
+
+    def test_render_requires_samples(self):
+        with pytest.raises(ValueError):
+            TimelineSampler().render_ascii()

@@ -1,0 +1,183 @@
+"""Tests for the trace format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import TrafficError
+from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace
+
+
+def make_trace(entries, n=16, name="t"):
+    return Trace.from_entries(entries, num_cores=n, name=name)
+
+
+class TestConstruction:
+    def test_entries_sorted_by_time(self):
+        tr = make_trace([(0, 1, KIND_REQUEST, 5.0), (2, 3, KIND_REQUEST, 1.0)])
+        assert list(tr.t_ns) == [1.0, 5.0]
+        assert list(tr.src) == [2, 0]
+
+    def test_empty_trace(self):
+        tr = Trace.empty(16)
+        assert len(tr) == 0
+        assert tr.duration_ns == 0.0
+        assert tr.injection_rate == 0.0
+
+    def test_self_addressed_rejected(self):
+        with pytest.raises(TrafficError):
+            make_trace([(3, 3, KIND_REQUEST, 1.0)])
+
+    def test_out_of_range_dst_rejected(self):
+        with pytest.raises(TrafficError):
+            make_trace([(0, 99, KIND_REQUEST, 1.0)])
+
+    def test_negative_src_rejected(self):
+        with pytest.raises(TrafficError):
+            make_trace([(-1, 2, KIND_REQUEST, 1.0)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TrafficError):
+            make_trace([(0, 1, KIND_REQUEST, -1.0)])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TrafficError):
+            make_trace([(0, 1, 7, 1.0)])
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(TrafficError):
+            Trace(
+                src=np.array([0], dtype=np.int32),
+                dst=np.array([1, 2], dtype=np.int32),
+                kind=np.array([0], dtype=np.uint8),
+                t_ns=np.array([1.0]),
+                num_cores=16,
+            )
+
+    def test_single_core_domain_rejected(self):
+        with pytest.raises(TrafficError):
+            Trace.empty(1)
+
+
+class TestStatistics:
+    def test_duration(self):
+        tr = make_trace([(0, 1, 0, 2.0), (1, 2, 0, 9.0)])
+        assert tr.duration_ns == 9.0
+
+    def test_injection_rate(self):
+        tr = make_trace([(0, 1, 0, 1.0), (1, 2, 0, 10.0)], n=4)
+        assert tr.injection_rate == pytest.approx(2 / 10.0 / 4)
+
+    def test_packets_per_core(self):
+        tr = make_trace([(0, 1, 0, 1.0), (0, 2, 0, 2.0), (3, 0, 0, 3.0)], n=4)
+        assert list(tr.packets_per_core()) == [2, 0, 0, 1]
+
+    def test_packets_to_core(self):
+        tr = make_trace([(0, 1, 0, 1.0), (2, 1, 0, 2.0)], n=4)
+        assert list(tr.packets_to_core()) == [0, 2, 0, 0]
+
+    def test_request_fraction(self):
+        tr = make_trace(
+            [(0, 1, KIND_REQUEST, 1.0), (1, 0, KIND_RESPONSE, 2.0),
+             (2, 3, KIND_REQUEST, 3.0)], n=4
+        )
+        assert tr.request_fraction() == pytest.approx(2 / 3)
+
+
+class TestTransforms:
+    def test_window_rebases_time(self):
+        tr = make_trace([(0, 1, 0, 2.0), (1, 2, 0, 5.0), (2, 3, 0, 9.0)])
+        win = tr.window(4.0, 8.0)
+        assert len(win) == 1
+        assert win.t_ns[0] == pytest.approx(1.0)
+
+    def test_window_bad_bounds(self):
+        tr = make_trace([(0, 1, 0, 2.0)])
+        with pytest.raises(TrafficError):
+            tr.window(5.0, 1.0)
+
+    def test_scaled_compresses(self):
+        tr = make_trace([(0, 1, 0, 10.0)])
+        assert tr.scaled(0.5).t_ns[0] == pytest.approx(5.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        tr = make_trace([(0, 1, 0, 10.0)])
+        with pytest.raises(TrafficError):
+            tr.scaled(0.0)
+
+
+class TestSerialization:
+    def test_npz_roundtrip(self, tmp_path):
+        tr = make_trace(
+            [(0, 1, KIND_REQUEST, 1.5), (2, 3, KIND_RESPONSE, 2.5)], name="x"
+        )
+        path = tmp_path / "t.npz"
+        tr.save_npz(path)
+        back = Trace.load_npz(path)
+        assert back.name == "x"
+        assert back.num_cores == tr.num_cores
+        assert np.array_equal(back.src, tr.src)
+        assert np.array_equal(back.t_ns, tr.t_ns)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tr = make_trace(
+            [(0, 1, KIND_REQUEST, 1.5), (2, 3, KIND_RESPONSE, 2.5)], name="y"
+        )
+        path = tmp_path / "t.jsonl"
+        tr.save_jsonl(path)
+        back = Trace.load_jsonl(path)
+        assert back.name == "y"
+        assert np.array_equal(back.dst, tr.dst)
+        assert np.array_equal(back.kind, tr.kind)
+
+    def test_empty_jsonl_roundtrip(self, tmp_path):
+        tr = Trace.empty(8, "nothing")
+        path = tmp_path / "e.jsonl"
+        tr.save_jsonl(path)
+        back = Trace.load_jsonl(path)
+        assert len(back) == 0
+        assert back.num_cores == 8
+
+
+@st.composite
+def trace_entries(draw):
+    n_cores = draw(st.integers(min_value=2, max_value=32))
+    n = draw(st.integers(min_value=0, max_value=40))
+    entries = []
+    for _ in range(n):
+        src = draw(st.integers(0, n_cores - 1))
+        dst = draw(st.integers(0, n_cores - 2))
+        if dst >= src:
+            dst += 1
+        kind = draw(st.sampled_from([KIND_REQUEST, KIND_RESPONSE]))
+        t = draw(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+        entries.append((src, dst, kind, t))
+    return n_cores, entries
+
+
+class TestTraceProperties:
+    @given(trace_entries())
+    def test_construction_sorts_and_validates(self, data):
+        n_cores, entries = data
+        tr = Trace.from_entries(entries, n_cores)
+        assert len(tr) == len(entries)
+        assert np.all(np.diff(tr.t_ns) >= 0)
+        if len(tr):
+            assert tr.src.max() < n_cores
+            assert not np.any(tr.src == tr.dst)
+
+    @given(trace_entries())
+    def test_npz_roundtrip_property(self, data):
+        import tempfile
+        from pathlib import Path
+
+        n_cores, entries = data
+        tr = Trace.from_entries(entries, n_cores)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.npz"
+            tr.save_npz(path)
+            back = Trace.load_npz(path)
+        assert np.array_equal(back.src, tr.src)
+        assert np.array_equal(back.dst, tr.dst)
+        assert np.array_equal(back.kind, tr.kind)
+        assert np.allclose(back.t_ns, tr.t_ns)

@@ -1,0 +1,62 @@
+"""Tests for the tick-grid time units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import (
+    BASE_TICKS_PER_NS,
+    GHZ_PERIOD_TICKS,
+    ns_to_ticks,
+    period_ticks_for_ghz,
+    ticks_to_ns,
+)
+
+
+class TestPeriodTicks:
+    def test_base_grid_is_one_eighteenth_ns(self):
+        assert BASE_TICKS_PER_NS == 18
+
+    @pytest.mark.parametrize(
+        "freq,period",
+        [(1.0, 18), (1.5, 12), (1.8, 10), (2.0, 9), (2.25, 8)],
+    )
+    def test_paper_frequencies_are_exact(self, freq, period):
+        assert period_ticks_for_ghz(freq) == period
+
+    def test_all_table_entries_consistent(self):
+        for freq, period in GHZ_PERIOD_TICKS.items():
+            assert period * freq == pytest.approx(BASE_TICKS_PER_NS)
+
+    def test_half_ghz_is_exact(self):
+        # 0.5 GHz -> 2 ns -> 36 ticks, representable even if unused.
+        assert period_ticks_for_ghz(0.5) == 36
+
+    def test_unrepresentable_frequency_raises(self):
+        with pytest.raises(ValueError):
+            period_ticks_for_ghz(1.7)
+
+    def test_negative_frequency_raises(self):
+        with pytest.raises(ValueError):
+            period_ticks_for_ghz(-1.0)
+
+
+class TestConversions:
+    def test_ns_to_ticks_exact_grid(self):
+        assert ns_to_ticks(1.0) == 18
+        assert ns_to_ticks(0.5) == 9
+
+    def test_ns_to_ticks_rounds_to_nearest(self):
+        assert ns_to_ticks(0.03) == 1  # 0.54 ticks -> 1
+        assert ns_to_ticks(0.02) == 0  # 0.36 ticks -> 0
+
+    def test_roundtrip_on_grid(self):
+        for ticks in (0, 1, 7, 18, 1000, 123456):
+            assert ns_to_ticks(ticks_to_ns(ticks)) == ticks
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_roundtrip_property(self, ticks):
+        assert ns_to_ticks(ticks_to_ns(ticks)) == ticks
+
+    def test_ticks_to_ns_value(self):
+        assert ticks_to_ns(18) == pytest.approx(1.0)
+        assert ticks_to_ns(9) == pytest.approx(0.5)

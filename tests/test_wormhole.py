@@ -1,0 +1,120 @@
+"""Tests for the wormhole switching mode (extension over the VCT default)."""
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.errors import ConfigError
+from repro.common.units import BASE_TICKS_PER_NS
+from repro.core.controller import make_policy
+from repro.noc.simulator import Simulator, run_simulation
+from repro.traffic.benchmarks import generate_benchmark_trace
+from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace
+
+
+def cfg(**kw):
+    base = dict(topology="mesh", radix=4, epoch_cycles=100,
+                switching="wormhole")
+    base.update(kw)
+    return SimConfig(**base)
+
+
+def trace_of(entries, n=16):
+    return Trace.from_entries(entries, num_cores=n, name="wh")
+
+
+class TestConfig:
+    def test_default_is_vct(self):
+        assert SimConfig().switching == "vct"
+
+    def test_wormhole_accepted(self):
+        assert cfg().switching == "wormhole"
+
+    def test_unknown_switching_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(switching="circuit")
+
+
+class TestWormholeTiming:
+    def test_single_flit_matches_vct(self):
+        # One-flit packets have no tail to pipeline: both modes identical.
+        entries = [(0, 3, KIND_REQUEST, 0.0)]
+        wh = run_simulation(cfg(), trace_of(entries), make_policy("baseline"))
+        vct = run_simulation(
+            cfg(switching="vct"), trace_of(entries), make_policy("baseline")
+        )
+        assert wh.stats.avg_latency_ns == vct.stats.avg_latency_ns
+
+    @pytest.mark.parametrize("dst,hops", [(1, 1), (3, 3), (15, 6)])
+    def test_multiflit_latency_formula(self, dst, hops):
+        # Wormhole, baseline (mode 7, 8-tick cycles), L-flit packet over H
+        # links: head pipelining gives 8 * (H + L + 1) ticks end to end.
+        length = 5
+        res = run_simulation(
+            cfg(response_flits=length),
+            trace_of([(0, dst, KIND_RESPONSE, 0.0)]),
+            make_policy("baseline"),
+        )
+        want_ticks = 8 * (hops + length + 1)
+        assert res.stats.avg_latency_ns == pytest.approx(
+            want_ticks / BASE_TICKS_PER_NS
+        )
+
+    def test_wormhole_beats_vct_on_long_paths(self):
+        entries = [(0, 15, KIND_RESPONSE, 0.0)]
+        wh = run_simulation(cfg(), trace_of(entries), make_policy("baseline"))
+        vct = run_simulation(
+            cfg(switching="vct"), trace_of(entries), make_policy("baseline")
+        )
+        # H=6, L=5: 12 cycles vs 36 cycles.
+        assert wh.stats.avg_latency_ns < 0.5 * vct.stats.avg_latency_ns
+
+    def test_serialization_still_bounds_back_to_back(self):
+        # Two 5-flit packets on the same path: the second cannot overtake
+        # or compress below the serialization rate.
+        entries = [(0, 3, KIND_RESPONSE, 0.0), (0, 3, KIND_RESPONSE, 0.1)]
+        res = run_simulation(
+            cfg(), trace_of(entries), make_policy("baseline")
+        )
+        assert res.stats.packets_delivered == 2
+        lats = sorted(res.stats.latencies_ns)
+        assert lats[1] > lats[0]
+
+
+class TestWormholeConservation:
+    def test_benchmark_trace_drains(self):
+        trace = generate_benchmark_trace("bodytrack", 16, 1_500.0)
+        res = run_simulation(cfg(), trace, make_policy("baseline"))
+        assert res.drained
+        assert res.stats.packets_delivered == len(trace)
+
+    def test_with_gating_policy(self):
+        trace = generate_benchmark_trace("swaptions", 16, 1_500.0)
+        res = run_simulation(cfg(), trace, make_policy("dozznoc"))
+        assert res.drained
+        assert res.stats.packets_delivered == len(trace)
+
+    def test_invariants_after_drain(self):
+        trace = generate_benchmark_trace("canneal", 16, 1_200.0)
+        sim = Simulator(cfg(), trace, make_policy("pg"))
+        sim.run()
+        for r in sim.network.routers:
+            assert r.secure_count == 0
+            assert r.total_occupancy() == 0
+            assert all(b.reserved == 0 for b in r.in_buffers)
+
+    def test_energy_identical_hop_counts(self):
+        # Switching mode changes timing, not paths: flit-hop counts match.
+        trace = generate_benchmark_trace("water", 16, 1_200.0)
+        wh = run_simulation(cfg(), trace, make_policy("baseline"))
+        vct = run_simulation(
+            cfg(switching="vct"), trace, make_policy("baseline")
+        )
+        assert wh.accountant.flit_hops.sum() == vct.accountant.flit_hops.sum()
+
+    def test_wormhole_latency_never_worse(self):
+        trace = generate_benchmark_trace("fft", 16, 1_000.0)
+        wh = run_simulation(cfg(), trace, make_policy("baseline"))
+        vct = run_simulation(
+            cfg(switching="vct"), trace, make_policy("baseline")
+        )
+        assert wh.stats.avg_latency_ns <= vct.stats.avg_latency_ns + 1e-9
