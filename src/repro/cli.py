@@ -17,7 +17,11 @@ import sys
 
 from repro.common.config import SimConfig
 from repro.core.controller import POLICIES, make_policy
-from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.experiments.campaign import (
+    CampaignConfig,
+    campaign_run_cache,
+    run_campaign,
+)
 from repro.experiments.figures import (
     EvalScale,
     fig5_waveforms,
@@ -34,11 +38,24 @@ from repro.traffic.compression import compress_trace
 
 
 def _scale(args: argparse.Namespace) -> EvalScale:
+    from dataclasses import replace
+    from pathlib import Path
+
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None and Path(cache_dir).exists() \
+            and not Path(cache_dir).is_dir():
+        sys.exit(f"dozznoc: error: --cache-dir {cache_dir!r} is not a directory")
     if getattr(args, "quick", False):
-        return EvalScale.quick()
-    if getattr(args, "cmesh", False):
-        return EvalScale.cmesh()
-    return EvalScale(duration_ns=args.duration)
+        scale = EvalScale.quick()
+    elif getattr(args, "cmesh", False):
+        scale = EvalScale.cmesh()
+    else:
+        scale = EvalScale(duration_ns=args.duration)
+    return replace(
+        scale,
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None) or scale.cache_dir,
+    )
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -158,8 +175,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         duration_ns=scale.duration_ns,
         compressed=args.compressed,
         seed=args.seed,
+        cache_dir=scale.cache_dir,
+        jobs=scale.jobs,
     )
-    result = run_campaign(campaign)
+    cache = campaign_run_cache(campaign)
+    result = run_campaign(campaign, cache=cache)
     rows = [
         (
             row["model"],
@@ -179,6 +199,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{'compressed' if args.compressed else 'uncompressed'})",
         )
     )
+    if cache is not None:
+        print(
+            f"run cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"[{cache.cache_dir}]"
+        )
     return 0
 
 
@@ -205,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", choices=["fig5", "fig6", "fig7", "fig8", "fig9"])
     p_fig.add_argument("--quick", action="store_true", help="small fast profile")
     p_fig.add_argument("--duration", type=float, default=12_000.0)
+    p_fig.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1=serial, 0=all CPUs)")
+    p_fig.add_argument("--cache-dir", default=None,
+                       help="cache trained weights and simulation results")
     p_fig.set_defaults(fn=_cmd_figure, cmesh=False)
 
     p_run = sub.add_parser("run", help="run one policy on one benchmark")
@@ -238,6 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--quick", action="store_true")
     p_camp.add_argument("--duration", type=float, default=12_000.0)
     p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1=serial, 0=all CPUs)")
+    p_camp.add_argument("--cache-dir", default=None,
+                        help="cache trained weights and simulation results")
     p_camp.set_defaults(fn=_cmd_campaign)
 
     sub.add_parser("list", help="list benchmarks/policies/experiments").set_defaults(

@@ -1,0 +1,222 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Mirrors what :func:`repro.ml.training.cached_train` does for trained
+weights, but for *simulation runs*: a :class:`RunCache` stores one
+:class:`~repro.experiments.runner.ModelMetrics` per run, keyed by a stable
+hash of everything that determines the run's outcome:
+
+* the full :class:`~repro.common.config.SimConfig` (every field except the
+  non-semantic ``extra`` dict),
+* the trace's content fingerprint (name, length, duration, column sample),
+* the policy name and resolved feature-set composition,
+* the trained weight vector (byte-exact) or its absence (reactive run),
+* a *code version* hashed over the sources of every module that can change
+  a simulation's outcome, so editing the kernel invalidates old results,
+* a schema version for the serialized payload itself.
+
+Entries are JSON files written atomically (temp file + rename).  A read
+validates the schema, the embedded key, and the metric fields; anything
+corrupted, truncated, or stale is **discarded, never trusted** — the run
+is simply re-simulated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.config import SimConfig
+from repro.traffic.trace import Trace, trace_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
+    from repro.experiments.runner import ModelMetrics
+
+#: Bump when the serialized payload layout changes.
+SCHEMA_VERSION = 1
+
+#: Modules whose source determines simulation results.  Editing any of
+#: these changes the code-version digest and invalidates cached runs.
+_VERSIONED_MODULES: tuple[str, ...] = (
+    "repro.common.config",
+    "repro.common.units",
+    "repro.core.controller",
+    "repro.core.features",
+    "repro.core.modes",
+    "repro.core.states",
+    "repro.core.thresholds",
+    "repro.noc.buffer",
+    "repro.noc.network",
+    "repro.noc.packet",
+    "repro.noc.router",
+    "repro.noc.simulator",
+    "repro.noc.stats",
+    "repro.noc.topology",
+    "repro.power.accounting",
+    "repro.power.dsent",
+    "repro.traffic.trace",
+)
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every simulation-relevant source file."""
+    import importlib
+
+    h = hashlib.sha256()
+    for name in _VERSIONED_MODULES:
+        module = importlib.import_module(name)
+        source = Path(module.__file__)
+        h.update(name.encode())
+        h.update(source.read_bytes())
+    return h.hexdigest()[:16]
+
+
+def _weights_digest(weights: np.ndarray | None) -> str:
+    """Byte-exact identity of a weight vector (or its absence)."""
+    if weights is None:
+        return "reactive"
+    arr = np.ascontiguousarray(np.asarray(weights, dtype=float))
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()[:16]
+
+
+def _config_digest_parts(config: SimConfig) -> str:
+    """Stable serialization of every semantic SimConfig field."""
+    fields = {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(SimConfig)
+        if f.name != "extra"
+    }
+    return json.dumps(fields, sort_keys=True, default=repr)
+
+
+def run_key(
+    policy: str,
+    trace: Trace,
+    config: SimConfig,
+    weights: np.ndarray | None,
+    feature_names: tuple[str, ...],
+    feature_set_name: str,
+) -> str:
+    """The content address of one (policy, trace, config, weights) run."""
+    parts = [
+        f"schema={SCHEMA_VERSION}",
+        f"code={code_version()}",
+        f"policy={policy}",
+        f"features={feature_set_name}:{','.join(feature_names)}",
+        f"config={_config_digest_parts(config)}",
+        f"trace={trace_fingerprint(trace)}",
+        f"weights={_weights_digest(weights)}",
+    ]
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()[:24]
+
+
+def _metrics_to_payload(key: str, metrics: "ModelMetrics") -> dict:
+    data = dataclasses.asdict(metrics)
+    data["mode_distribution"] = {
+        str(k): float(v) for k, v in metrics.mode_distribution.items()
+    }
+    return {"schema": SCHEMA_VERSION, "key": key, "metrics": data}
+
+
+@lru_cache(maxsize=1)
+def _metric_fields() -> tuple[str, ...]:
+    # Imported lazily: repro.experiments imports this package at load time.
+    from repro.experiments.runner import ModelMetrics
+
+    return tuple(f.name for f in dataclasses.fields(ModelMetrics))
+
+
+def _metrics_from_payload(key: str, payload: dict) -> "ModelMetrics":
+    """Rebuild metrics from a cache payload; raises on any inconsistency."""
+    from repro.experiments.runner import ModelMetrics
+
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"schema mismatch: {payload.get('schema')!r}")
+    if payload.get("key") != key:
+        raise ValueError("cache entry key does not match its address")
+    data = dict(payload["metrics"])
+    if set(data) != set(_metric_fields()):
+        raise ValueError(f"metric fields mismatch: {sorted(data)}")
+    data["mode_distribution"] = {
+        int(k): float(v) for k, v in data["mode_distribution"].items()
+    }
+    data["packets_delivered"] = int(data["packets_delivered"])
+    return ModelMetrics(**data)
+
+
+class RunCache:
+    """Content-addressed store of per-run :class:`ModelMetrics`.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for entries (created on first write).  One JSON file per
+        run, named ``run-<key>.json``.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+        self.discarded = 0
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem location of one cache entry."""
+        return self.cache_dir / f"run-{key}.json"
+
+    def get(self, key: str) -> ModelMetrics | None:
+        """Look up one run; corrupted or stale entries are deleted."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            metrics = _metrics_from_payload(key, payload)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupted / truncated / wrong-schema entry: do not trust it.
+            self.discarded += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return None
+        self.hits += 1
+        return metrics
+
+    def put(self, key: str, metrics: ModelMetrics) -> None:
+        """Store one run atomically (temp file + rename)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(_metrics_to_payload(key, metrics))
+        fd, tmp = tempfile.mkstemp(
+            prefix=".run-", suffix=".tmp", dir=self.cache_dir
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path_for(key))
+        except OSError:  # pragma: no cover - cache write is best-effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/discard counters for reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "discarded": self.discarded,
+        }

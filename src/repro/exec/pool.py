@@ -1,0 +1,240 @@
+"""Process-pool fan-out for independent simulation and training tasks.
+
+The campaign workload is embarrassingly parallel: every (model, trace)
+simulation and every per-model ridge training is independent of the
+others.  This module fans those tasks over a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* ``jobs=1`` (the default) never spawns a pool — everything runs inline,
+* ``jobs<=0`` means "one worker per CPU",
+* tasks that cannot be pickled (ad-hoc feature sets built from closures,
+  monkeypatched configs, …) silently fall back to the serial path, as does
+  a pool that dies mid-flight — correctness never depends on the pool.
+
+Workers receive task *descriptions* (policy name, trace arrays, config,
+weight vector) and rebuild policies locally, so results are bit-identical
+to a serial run: the per-task computation is exactly the same code, and
+results are reassembled in submission order.
+
+Canonical feature sets travel by **name** (``"reduced-5"`` / ``"full-41"``)
+because the 41-feature set contains closure-based features that cannot
+cross a process boundary; :func:`resolve_feature_set` rebuilds them on the
+worker from the module-level singletons.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.core.features import FULL_FEATURES, REDUCED_FEATURES, FeatureSet
+from repro.exec.cache import RunCache, run_key
+from repro.ml.training import (
+    DEFAULT_LAMBDAS,
+    TrainingResult,
+    cached_train,
+    train_policy_model,
+)
+from repro.noc.simulator import run_simulation
+from repro.traffic.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
+    from repro.experiments.runner import ModelMetrics
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Feature sets addressable by name across process boundaries.
+_CANONICAL_FEATURE_SETS: dict[str, FeatureSet] = {
+    REDUCED_FEATURES.name: REDUCED_FEATURES,
+    FULL_FEATURES.name: FULL_FEATURES,
+}
+
+#: A feature set given directly, or the name of a canonical one.
+FeatureSpec = "str | FeatureSet"
+
+
+def resolve_feature_set(spec: str | FeatureSet) -> FeatureSet:
+    """Materialize a feature set from a spec (name or instance)."""
+    if isinstance(spec, FeatureSet):
+        return spec
+    try:
+        return _CANONICAL_FEATURE_SETS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown feature set {spec!r}; choices: "
+            f"{sorted(_CANONICAL_FEATURE_SETS)}"
+        ) from None
+
+
+def feature_set_spec(feature_set: FeatureSet) -> str | FeatureSet:
+    """Prefer the by-name spec (always picklable) for canonical sets."""
+    if _CANONICAL_FEATURE_SETS.get(feature_set.name) is feature_set:
+        return feature_set.name
+    return feature_set
+
+
+# ---------------------------------------------------------------------- #
+# Task descriptions + module-level workers (picklable by construction)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, eq=False)
+class SimTask:
+    """One independent (policy, trace, config) simulation."""
+
+    policy: str
+    trace: Trace
+    sim: SimConfig
+    weights: np.ndarray | None = None
+    feature_set: str | FeatureSet = REDUCED_FEATURES.name
+
+    def cache_key(self) -> str:
+        """Content address of this task's result."""
+        fs = resolve_feature_set(self.feature_set)
+        return run_key(
+            self.policy, self.trace, self.sim, self.weights, fs.names, fs.name
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class TrainTask:
+    """One model's offline training phase (collect, sweep lambda, fit)."""
+
+    policy: str
+    train_traces: tuple[Trace, ...]
+    validation_traces: tuple[Trace, ...]
+    sim: SimConfig
+    feature_set: str | FeatureSet = REDUCED_FEATURES.name
+    lambdas: tuple[float, ...] = DEFAULT_LAMBDAS
+    cache_dir: str | None = None
+
+
+def execute_sim_task(task: SimTask) -> "ModelMetrics":
+    """Worker body: run one simulation and reduce it to its metrics."""
+    from repro.experiments.runner import ModelMetrics
+
+    feature_set = resolve_feature_set(task.feature_set)
+    policy = make_policy(
+        task.policy, weights=task.weights, feature_set=feature_set
+    )
+    result = run_simulation(task.sim, task.trace, policy)
+    return ModelMetrics.from_result(result)
+
+
+def execute_train_weights(task: TrainTask) -> np.ndarray:
+    """Worker body: train (or reload from cache) one model's weights."""
+    ridge = cached_train(
+        task.policy,
+        task.train_traces,
+        task.validation_traces,
+        task.sim,
+        feature_set=resolve_feature_set(task.feature_set),
+        lambdas=task.lambdas,
+        cache_dir=task.cache_dir,
+    )
+    return ridge.weights
+
+
+def execute_train_task(task: TrainTask) -> TrainingResult:
+    """Worker body: full offline phase incl. validation diagnostics."""
+    return train_policy_model(
+        task.policy,
+        task.train_traces,
+        task.validation_traces,
+        task.sim,
+        feature_set=resolve_feature_set(task.feature_set),
+        lambdas=task.lambdas,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The pool
+# ---------------------------------------------------------------------- #
+
+
+def effective_jobs(jobs: int | None, n_tasks: int) -> int:
+    """Clamp a jobs request: ``None``/``<=0`` means one per CPU."""
+    if jobs is None or jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_tasks))
+
+
+def _picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def map_tasks(
+    fn: Callable[[T], R], tasks: Iterable[T], jobs: int | None = 1
+) -> list[R]:
+    """Apply ``fn`` to every task, preserving order.
+
+    Fans out over a process pool when ``jobs`` allows and the tasks are
+    picklable; otherwise (or if the pool breaks) runs serially.  The
+    serial and parallel paths execute identical per-task code, so results
+    are the same either way.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    jobs = effective_jobs(jobs, len(tasks))
+    if jobs == 1 or not _picklable((fn, tasks)):
+        return [fn(t) for t in tasks]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(fn, tasks))
+    except (BrokenProcessPool, pickle.PicklingError, OSError):
+        # A dead or unusable pool is a performance problem, not a
+        # correctness one: redo the work inline.
+        return [fn(t) for t in tasks]
+
+
+def run_sim_tasks(
+    tasks: Sequence[SimTask],
+    jobs: int | None = 1,
+    cache: RunCache | None = None,
+) -> list[ModelMetrics]:
+    """Run simulations through the cache, fanning misses over the pool.
+
+    Cache hits are returned without simulating; only the misses are
+    dispatched.  Results come back in task order regardless of ``jobs``.
+    """
+    tasks = list(tasks)
+    results: list[ModelMetrics | None] = [None] * len(tasks)
+    pending: list[tuple[int, SimTask, str | None]] = []
+    for i, task in enumerate(tasks):
+        key = None
+        if cache is not None:
+            key = task.cache_key()
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append((i, task, key))
+
+    fresh = map_tasks(execute_sim_task, [t for _, t, _ in pending], jobs)
+    for (i, _, key), metrics in zip(pending, fresh):
+        results[i] = metrics
+        if cache is not None and key is not None:
+            cache.put(key, metrics)
+    assert all(m is not None for m in results)
+    return results  # type: ignore[return-value]
+
+
+def run_train_tasks(
+    tasks: Sequence[TrainTask], jobs: int | None = 1
+) -> list[np.ndarray]:
+    """Train several models' weights concurrently (order preserved)."""
+    return map_tasks(execute_train_weights, tasks, jobs)

@@ -10,6 +10,13 @@ A *campaign* is the paper's end-to-end procedure for one configuration:
 
 Campaign scale (trace duration) is configurable so tests run in seconds
 while the benchmark harness uses paper-scale runs.
+
+Execution is delegated to :mod:`repro.exec`: the independent
+(model, trace) simulations and the per-model training runs fan out over a
+process pool (``jobs``), and simulation results are memoized in a
+content-addressed on-disk cache (``cache_dir``) so re-running a campaign
+only simulates what changed.  Parallel and serial execution produce
+bit-identical results.
 """
 
 from __future__ import annotations
@@ -21,14 +28,21 @@ import numpy as np
 
 from repro.common.config import SimConfig
 from repro.core.features import REDUCED_FEATURES, FeatureSet
+from repro.exec.cache import RunCache
+from repro.exec.pool import (
+    SimTask,
+    TrainTask,
+    feature_set_spec,
+    run_sim_tasks,
+    run_train_tasks,
+)
 from repro.experiments.runner import (
     MODEL_NAMES,
     ModelMetrics,
     NormalizedMetrics,
     normalize_to_baseline,
-    run_model,
 )
-from repro.ml.training import DEFAULT_LAMBDAS, cached_train
+from repro.ml.training import DEFAULT_LAMBDAS
 from repro.traffic.suite import TraceSuite, build_suite
 
 #: Which models need a trained predictor.
@@ -37,7 +51,12 @@ ML_MODELS: tuple[str, ...] = ("lead", "dozznoc", "turbo")
 
 @dataclass
 class CampaignConfig:
-    """Everything that parameterizes one campaign."""
+    """Everything that parameterizes one campaign.
+
+    ``jobs`` is the worker-process count for the exec layer (1 = serial,
+    <=0 = one per CPU); ``cache_dir`` enables both the trained-weights
+    cache and the content-addressed simulation-result cache.
+    """
 
     sim: SimConfig = field(default_factory=SimConfig.paper_mesh)
     duration_ns: float = 12_000.0
@@ -47,6 +66,7 @@ class CampaignConfig:
     models: tuple[str, ...] = MODEL_NAMES
     lambdas: tuple[float, ...] = DEFAULT_LAMBDAS
     cache_dir: str | Path | None = None
+    jobs: int = 1
 
 
 @dataclass
@@ -94,49 +114,80 @@ class CampaignResult:
 
 
 def train_ml_models(
-    suite: TraceSuite, campaign: CampaignConfig
+    suite: TraceSuite, campaign: CampaignConfig, jobs: int | None = None
 ) -> dict[str, np.ndarray]:
-    """Offline phase: one trained weight vector per ML model."""
-    weights: dict[str, np.ndarray] = {}
-    for model in ML_MODELS:
-        if model not in campaign.models:
-            continue
-        ridge = cached_train(
-            model,
-            suite.train,
-            suite.validation,
-            campaign.sim,
-            feature_set=campaign.feature_set,
+    """Offline phase: one trained weight vector per ML model.
+
+    Independent models train concurrently when ``jobs`` allows; each
+    worker honours the same weights cache as the serial path.
+    """
+    jobs = campaign.jobs if jobs is None else jobs
+    spec = feature_set_spec(campaign.feature_set)
+    models = [m for m in ML_MODELS if m in campaign.models]
+    tasks = [
+        TrainTask(
+            policy=model,
+            train_traces=suite.train,
+            validation_traces=suite.validation,
+            sim=campaign.sim,
+            feature_set=spec,
             lambdas=campaign.lambdas,
-            cache_dir=campaign.cache_dir,
+            cache_dir=(
+                None if campaign.cache_dir is None else str(campaign.cache_dir)
+            ),
         )
-        weights[model] = ridge.weights
-    return weights
+        for model in models
+    ]
+    return dict(zip(models, run_train_tasks(tasks, jobs=jobs)))
 
 
-def run_campaign(campaign: CampaignConfig) -> CampaignResult:
-    """Execute the full train-then-test evaluation."""
+def campaign_run_cache(campaign: CampaignConfig) -> RunCache | None:
+    """The simulation-result cache a campaign's config implies."""
+    if campaign.cache_dir is None:
+        return None
+    return RunCache(Path(campaign.cache_dir) / "runs")
+
+
+def run_campaign(
+    campaign: CampaignConfig,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+) -> CampaignResult:
+    """Execute the full train-then-test evaluation.
+
+    ``jobs`` overrides ``campaign.jobs``; ``cache`` overrides the run
+    cache derived from ``campaign.cache_dir`` (pass an explicit
+    :class:`RunCache` to inspect hit/miss statistics afterwards).
+    """
+    jobs = campaign.jobs if jobs is None else jobs
+    if cache is None:
+        cache = campaign_run_cache(campaign)
     suite = build_suite(
         num_cores=campaign.sim.num_cores,
         duration_ns=campaign.duration_ns,
         seed=campaign.seed,
         compressed=campaign.compressed,
     )
-    weights = train_ml_models(suite, campaign)
+    weights = train_ml_models(suite, campaign, jobs=jobs)
+
+    spec = feature_set_spec(campaign.feature_set)
+    tasks = [
+        SimTask(
+            policy=model,
+            trace=trace,
+            sim=campaign.sim,
+            weights=weights.get(model),
+            feature_set=spec,
+        )
+        for trace in suite.test
+        for model in campaign.models
+    ]
+    results = iter(run_sim_tasks(tasks, jobs=jobs, cache=cache))
 
     metrics: dict[str, dict[str, ModelMetrics]] = {}
     normalized: dict[str, dict[str, NormalizedMetrics]] = {}
     for trace in suite.test:
-        per_model: dict[str, ModelMetrics] = {}
-        for model in campaign.models:
-            result = run_model(
-                model,
-                trace,
-                campaign.sim,
-                weights=weights.get(model),
-                feature_set=campaign.feature_set,
-            )
-            per_model[model] = ModelMetrics.from_result(result)
+        per_model = {model: next(results) for model in campaign.models}
         metrics[trace.name] = per_model
         base = per_model["baseline"]
         normalized[trace.name] = {

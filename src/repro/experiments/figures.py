@@ -20,6 +20,13 @@ from repro.core.features import (
     SINGLE_FEATURE_CANDIDATES,
     single_feature_set,
 )
+from repro.exec.pool import (
+    SimTask,
+    TrainTask,
+    execute_train_task,
+    map_tasks,
+    run_sim_tasks,
+)
 from repro.experiments.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -27,7 +34,7 @@ from repro.experiments.campaign import (
 )
 from repro.ml.metrics import mode_selection_accuracy
 from repro.ml.ridge import fit_ridge
-from repro.ml.training import collect_dataset, train_policy_model
+from repro.ml.training import collect_dataset
 from repro.regulator.efficiency import EfficiencyComparison, compare_efficiency
 from repro.regulator.ldo import LdoModel, LdoTransient
 from repro.traffic.suite import build_suite
@@ -39,12 +46,15 @@ class EvalScale:
 
     ``paper()`` approximates the paper's setup (8x8 mesh, epoch 500);
     ``quick()`` is a minutes-to-seconds profile for tests and CI.
+    ``jobs`` is forwarded to the exec layer (1 = serial, <=0 = one worker
+    per CPU); results are identical at any ``jobs``.
     """
 
     sim: SimConfig = field(default_factory=SimConfig.paper_mesh)
     duration_ns: float = 12_000.0
     seed: int = 0
     cache_dir: str | Path | None = None
+    jobs: int = 1
 
     @classmethod
     def paper(cls, cache_dir: str | Path | None = None) -> "EvalScale":
@@ -116,6 +126,7 @@ def _campaign(scale: EvalScale, compressed: bool) -> CampaignConfig:
         compressed=compressed,
         seed=scale.seed,
         cache_dir=scale.cache_dir,
+        jobs=scale.jobs,
     )
 
 
@@ -229,7 +240,9 @@ def epoch_size_sweep(
     """Sweep the decision-epoch size, retraining per size (Section IV.B.1).
 
     The paper trains one model per epoch size and reports that 500 balances
-    model quality against the amount of training data per trace.
+    model quality against the amount of training data per trace.  Each
+    epoch size is an independent training run, so the sweep fans out over
+    ``scale.jobs`` workers.
     """
     scale = scale or EvalScale()
     suite = build_suite(
@@ -237,21 +250,26 @@ def epoch_size_sweep(
         duration_ns=scale.duration_ns,
         seed=scale.seed,
     )
-    points = []
-    for epoch in epoch_sizes:
-        sim = scale.sim.with_(epoch_cycles=epoch)
-        result = train_policy_model(
-            "dozznoc", suite.train, suite.validation, sim, REDUCED_FEATURES
+    tasks = [
+        TrainTask(
+            policy="dozznoc",
+            train_traces=suite.train,
+            validation_traces=suite.validation,
+            sim=scale.sim.with_(epoch_cycles=epoch),
+            feature_set=REDUCED_FEATURES.name,
         )
-        points.append(
-            EpochSweepPoint(
-                epoch_cycles=epoch,
-                validation_rmse=result.validation_rmse,
-                validation_accuracy=result.validation_accuracy,
-                n_train_samples=result.n_train_samples,
-            )
+        for epoch in epoch_sizes
+    ]
+    results = map_tasks(execute_train_task, tasks, jobs=scale.jobs)
+    return [
+        EpochSweepPoint(
+            epoch_cycles=epoch,
+            validation_rmse=result.validation_rmse,
+            validation_accuracy=result.validation_accuracy,
+            n_train_samples=result.n_train_samples,
         )
-    return points
+        for epoch, result in zip(epoch_sizes, results)
+    ]
 
 
 @dataclass(frozen=True)
@@ -285,19 +303,18 @@ def t_idle_sweep(
         seed=scale.seed,
     )
     trace = suite.test[benchmark_index]
-    from repro.experiments.runner import (
-        ModelMetrics,
-        normalize_to_baseline,
-        run_model,
-    )
+    from repro.experiments.runner import normalize_to_baseline
 
-    base_result = run_model("baseline", trace, scale.sim)
-    base = ModelMetrics.from_result(base_result)
+    tasks = [SimTask(policy="baseline", trace=trace, sim=scale.sim)] + [
+        SimTask(
+            policy="dozznoc", trace=trace, sim=scale.sim.with_(t_idle=t_idle)
+        )
+        for t_idle in t_idles
+    ]
+    base, *rest = run_sim_tasks(tasks, jobs=scale.jobs)
     points = []
-    for t_idle in t_idles:
-        sim = scale.sim.with_(t_idle=t_idle)
-        result = run_model("dozznoc", trace, sim)
-        norm = normalize_to_baseline(base, ModelMetrics.from_result(result))
+    for t_idle, metrics in zip(t_idles, rest):
+        norm = normalize_to_baseline(base, metrics)
         points.append(
             TIdlePoint(
                 t_idle=t_idle,
@@ -305,7 +322,7 @@ def t_idle_sweep(
                 dynamic_savings=norm.dynamic_savings,
                 throughput_loss=norm.throughput_loss,
                 gated_fraction=norm.gated_fraction,
-                wake_events=float(result.accountant.wake_events.sum()),
+                wake_events=metrics.wake_events,
             )
         )
     return points
@@ -453,6 +470,7 @@ def feature_ablation(scale: EvalScale | None = None) -> FeatureAblationResult:
             feature_set=feature_set,
             models=("baseline", "dozznoc"),
             cache_dir=scale.cache_dir,
+            jobs=scale.jobs,
         )
         result = run_campaign(cfg)
         avg = result.average_normalized("dozznoc")

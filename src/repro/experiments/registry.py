@@ -10,7 +10,7 @@ is the lightweight programmatic entry point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable
 
 from repro.experiments import figures, tables
@@ -29,8 +29,13 @@ class Experiment:
 
 
 def _sim(fn: Callable[[EvalScale], Any]) -> Callable[..., Any]:
-    def wrapper(scale: EvalScale | None = None) -> Any:
-        return fn(scale or EvalScale.quick())
+    def wrapper(
+        scale: EvalScale | None = None, jobs: int | None = None
+    ) -> Any:
+        scale = scale or EvalScale.quick()
+        if jobs is not None:
+            scale = replace(scale, jobs=jobs)
+        return fn(scale)
 
     return wrapper
 

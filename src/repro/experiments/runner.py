@@ -46,6 +46,7 @@ class ModelMetrics:
     elapsed_ns: float
     packets_delivered: int
     mode_distribution: dict[int, float]
+    wake_events: float = 0.0
 
     @classmethod
     def from_result(cls, result: SimResult) -> "ModelMetrics":
@@ -61,6 +62,7 @@ class ModelMetrics:
             elapsed_ns=summary["elapsed_ns"],
             packets_delivered=int(summary["packets_delivered"]),
             mode_distribution=result.stats.mode_distribution(),
+            wake_events=summary["wake_events"],
         )
 
 

@@ -32,7 +32,7 @@ from repro.core.features import REDUCED_FEATURES, FeatureSet
 from repro.ml.metrics import mode_selection_accuracy
 from repro.ml.ridge import RidgeModel, fit_ridge, rmse
 from repro.noc.simulator import run_simulation
-from repro.traffic.trace import Trace
+from repro.traffic.trace import Trace, trace_fingerprint
 
 #: Default lambda sweep (log-spaced, matching a coarse Matlab-style tune).
 DEFAULT_LAMBDAS: tuple[float, ...] = (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
@@ -117,23 +117,8 @@ def train_policy_model(
     )
 
 
-def _trace_fingerprint(trace: Trace) -> str:
-    """Content-sensitive trace identity for cache keys.
-
-    Hashes the trace name, size, duration and a sample of its columns so
-    that regenerating traces with different generator parameters (same
-    benchmark name) invalidates cached weights.
-    """
-    h = hashlib.sha256()
-    h.update(trace.name.encode())
-    h.update(str(len(trace)).encode())
-    h.update(f"{trace.duration_ns:.6f}".encode())
-    if len(trace):
-        h.update(trace.src[:64].tobytes())
-        h.update(trace.dst[:64].tobytes())
-        h.update(trace.t_ns[:64].tobytes())
-        h.update(trace.t_ns[-8:].tobytes())
-    return h.hexdigest()[:16]
+#: Canonical trace-identity hash (shared with the run cache in repro.exec).
+_trace_fingerprint = trace_fingerprint
 
 
 def _cache_key(

@@ -12,7 +12,12 @@ from repro.common.config import SimConfig
 from repro.common.errors import ConfigError
 from repro.core.modes import Mode
 from repro.noc.router import Router
-from repro.noc.topology import OPPOSITE, GridTopology, make_topology
+from repro.noc.topology import (
+    NUM_PORTS,
+    OPPOSITE,
+    GridTopology,
+    make_topology,
+)
 from repro.traffic.trace import Trace
 
 
@@ -30,6 +35,8 @@ class Network:
         ]
         #: Per-router list of (out_port, neighbor_rid, opposite_in_port).
         self.links: list[list[tuple[int, int, int]]] = []
+        #: Flat port->neighbor lookup (-1 where no link), for the hot path.
+        self.neighbor_port: list[list[int]] = []
         for rid in range(self.topology.num_routers):
             entries = [
                 (port, nbr, OPPOSITE[port])
@@ -37,6 +44,10 @@ class Network:
             ]
             self.links.append(entries)
             self.routers[rid].neighbor_ids = [nbr for _, nbr, _ in entries]
+            by_port = [-1] * NUM_PORTS
+            for port, nbr, _ in entries:
+                by_port[port] = nbr
+            self.neighbor_port.append(by_port)
         #: core -> router lookup (plain list for speed).
         self.core_router = [
             self.topology.router_of_core(c) for c in range(self.topology.num_cores)

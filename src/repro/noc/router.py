@@ -54,6 +54,7 @@ class Router:
         "inject_pos",
         "state",
         "mode",
+        "cur_period",
         "switch_stall",
         "wakeup_remaining",
         "idle_count",
@@ -95,6 +96,9 @@ class Router:
 
         self.state = PowerState.ACTIVE
         self.mode = initial_mode
+        # Cached period_ticks, maintained by the transition methods so the
+        # scheduler reads one slot instead of a property on every fire.
+        self.cur_period = initial_mode.period_ticks
         self.switch_stall = 0
         self.wakeup_remaining = 0
         self.idle_count = 0
@@ -190,18 +194,21 @@ class Router:
     def begin_gate(self) -> None:
         """ACTIVE -> INACTIVE (single-cycle transition per Section III.A)."""
         self.state = PowerState.INACTIVE
+        self.cur_period = GATED_HEARTBEAT_TICKS
         self.idle_count = 0
         self.switch_stall = 0
 
     def begin_wakeup(self) -> None:
         """INACTIVE -> WAKEUP; waits T-Wakeup cycles of the target mode."""
         self.state = PowerState.WAKEUP
+        self.cur_period = self.mode.period_ticks
         self.wakeup_remaining = self.mode.t_wakeup_cycles
         self.epoch_wakes += 1
 
     def finish_wakeup(self) -> None:
         """WAKEUP -> ACTIVE."""
         self.state = PowerState.ACTIVE
+        self.cur_period = self.mode.period_ticks
         self.wakeup_remaining = 0
 
     def begin_switch(self, new_mode: Mode) -> None:
@@ -209,6 +216,7 @@ class Router:
         if new_mode.index == self.mode.index:
             return
         self.mode = new_mode
+        self.cur_period = new_mode.period_ticks
         self.switch_stall = new_mode.t_switch_cycles
         self.epoch_switches += 1
 

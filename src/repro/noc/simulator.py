@@ -39,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a core<->noc import cycle
     from repro.core.controller import PowerPolicy
 from repro.noc.network import Network
 from repro.noc.packet import Packet
-from repro.noc.router import Router
+from repro.noc.router import GATED_HEARTBEAT_TICKS, Router
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
 from repro.power.accounting import EnergyAccountant
@@ -121,12 +121,24 @@ class Simulator:
         self.packets_live = 0
         self._pid = 0
         self._arr_seq = 0
+        self._firing_rid = -1
 
         fs = policy.feature_set
         self._needs_features = collect_features or policy.proactive
         if self._needs_features and fs.needs_port_tracking:
             for r in self.network.routers:
                 r.track_ports = True
+
+        # Hot-path constants hoisted out of the per-cycle loop.
+        self._uses_gating = policy.uses_gating
+        self._req_flits = config.request_flits
+        self._resp_flits = config.response_flits
+        self._links = self.network.links
+        self._nbr_port = self.network.neighbor_port
+        # Batched heartbeat skipping for gated routers is exact (it only
+        # elides fires that are provably no-ops) but a timeline sampler
+        # observes every fire, so it forces per-step execution.
+        self._allow_skip = timeline is None
 
         if config.horizon_ns is not None:
             self.horizon_tick: int | None = ns_to_ticks(config.horizon_ns)
@@ -198,9 +210,45 @@ class Simulator:
             )
 
     def _expedite(self, router: Router) -> None:
-        """Reschedule a router's next firing for one period from now."""
-        nxt = self.now_tick + router.period_ticks
-        if nxt < router.next_event_tick:
+        """Reschedule a woken router's next firing.
+
+        The router was INACTIVE, so its scheduled firing sits on the
+        gated-heartbeat grid — possibly several heartbeats out when silent
+        fires were batch-skipped (:meth:`_heartbeat_skip`).  Restore
+        per-step semantics exactly:
+
+        * un-credit skipped heartbeats that lie strictly after now (the
+          wake means per-step execution would never have run them gated),
+        * if a virtual heartbeat lands exactly now and per-step heap order
+          (tick, rid) would have fired it *after* the securing router, it
+          would have run in WAKEUP state — refire this tick to match,
+        * otherwise pull the next firing back to the earlier of "one
+          period from now" and the next virtual heartbeat.
+        """
+        cur = router.next_event_tick
+        now = self.now_tick
+        delta = cur - now
+        if delta <= 0:
+            # Pending fire this very tick pops after us and runs in
+            # WAKEUP state by itself; nothing was skipped past it.
+            return
+        hb = GATED_HEARTBEAT_TICKS
+        over = (delta - 1) // hb
+        if over:
+            router.total_off_cycles -= over
+            router.epoch_cycle -= over
+        if delta % hb == 0 and self._firing_rid < router.rid:
+            # Virtual heartbeat exactly now, ordered after the securing
+            # router: per-step it fires in WAKEUP state, not gated.
+            router.total_off_cycles -= 1
+            router.epoch_cycle -= 1
+            nxt = now
+        else:
+            nxt = now + router.cur_period
+            vnext = cur - over * hb
+            if vnext < nxt:
+                nxt = vnext
+        if nxt < cur:
             router.next_event_tick = nxt
             heapq.heappush(self._heap, (nxt, router.rid))
 
@@ -214,11 +262,16 @@ class Simulator:
         routers = self.network.routers
         horizon = self.horizon_tick
         cap = self._cap_tick
+        timeline = self.timeline
+        fire = self._fire
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        base = BASE_TICKS_PER_NS
         final_tick = 0
         drained = False
 
         while heap:
-            tick, rid = heapq.heappop(heap)
+            tick, rid = heappop(heap)
             router = routers[rid]
             if tick != router.next_event_tick:
                 continue  # stale entry superseded by an expedited wakeup
@@ -229,13 +282,13 @@ class Simulator:
                 final_tick = tick
                 break
             self.now_tick = tick
-            self.now_ns = tick / BASE_TICKS_PER_NS
-            self._fire(router, tick)
-            if self.timeline is not None:
-                self.timeline.maybe_sample(self)
-            nxt = tick + router.period_ticks
+            self.now_ns = tick / base
+            mult = fire(router, tick)
+            if timeline is not None:
+                timeline.maybe_sample(self)
+            nxt = tick + router.cur_period * mult
             router.next_event_tick = nxt
-            heapq.heappush(heap, (nxt, router.rid))
+            heappush(heap, (nxt, router.rid))
             final_tick = tick
             if (
                 horizon is None
@@ -265,10 +318,25 @@ class Simulator:
     # One router cycle
     # ------------------------------------------------------------------ #
 
-    def _fire(self, router: Router, tick: int) -> None:
-        self.settle(router)
+    def _fire(self, router: Router, tick: int) -> int:
+        """One router cycle; returns how many periods to advance.
+
+        The return value is 1 except when a gated router batch-skips
+        provably silent heartbeats (see :meth:`_heartbeat_skip`), in which
+        case it is ``1 + skipped``.
+        """
+        self._firing_rid = router.rid
+        # Inlined self.settle(router) — this is the hottest call site.
+        dt = tick - router.last_settle_tick
         state = router.state
+        if dt > 0:
+            if state is _INACTIVE:
+                router.gated_ticks += dt
+            else:
+                router.mode_ticks[router.mode.index] += dt
+            router.last_settle_tick = tick
         now_ns = self.now_ns
+        mult = 1
 
         if state is _INACTIVE:
             router.total_off_cycles += 1
@@ -279,7 +347,17 @@ class Simulator:
             ):
                 router.begin_wakeup()
                 self.accountant.add_wake_event(router.rid, router.mode)
-            router.epoch_cycle += 1
+                router.epoch_cycle += 1
+            else:
+                router.epoch_cycle += 1
+                if self._allow_skip:
+                    # Future heartbeats are no-ops until an injection comes
+                    # due (arrivals and secures cannot target a gated
+                    # router; a later secure() expedites us anyway).  Never
+                    # skip across the epoch boundary: it must fire live.
+                    cap = self.epoch_cycles - router.epoch_cycle - 1
+                    if cap > 0:
+                        mult += self._heartbeat_skip(router, tick, cap)
         elif state is _WAKEUP:
             router.wakeup_remaining -= 1
             if router.wakeup_remaining <= 0:
@@ -293,9 +371,16 @@ class Simulator:
             if router.switch_stall > 0:
                 router.switch_stall -= 1
             else:
-                self._transport(router, tick, now_ns)
+                bufs = router.in_buffers
+                if (
+                    bufs[0].queue or bufs[1].queue or bufs[2].queue
+                    or bufs[3].queue or bufs[4].queue
+                ):
+                    used = self._eject(router, tick)
+                    self._forward(router, tick, used)
+                self._inject(router, tick, now_ns)
                 # 3. Power-gating bookkeeping (Fig 3a).
-                if self.policy.uses_gating:
+                if self._uses_gating:
                     if router.is_idle(now_ns, tick):
                         router.idle_count += 1
                         router.epoch_idle_cycles += 1
@@ -305,32 +390,71 @@ class Simulator:
                     else:
                         router.idle_count = 0
             # 4. Epoch accounting.
-            router.occ_sum += router.occupancy_fraction()
+            bufs = router.in_buffers
+            router.occ_sum += (
+                bufs[0].occupancy + bufs[1].occupancy + bufs[2].occupancy
+                + bufs[3].occupancy + bufs[4].occupancy
+            ) / router.capacity_total
             if router.track_ports:
                 depth = router.buffer_depth
                 sums = router.occ_port_sums
                 for p in range(5):
-                    sums[p] += router.in_buffers[p].occupancy / depth
+                    sums[p] += bufs[p].occupancy / depth
             router.epoch_cycle += 1
 
         if router.epoch_cycle >= self.epoch_cycles:
             self._epoch_boundary(router)
+        return mult
+
+    def _heartbeat_skip(self, router: Router, tick: int, cap: int) -> int:
+        """How many upcoming heartbeat fires of a silent gated router can
+        be elided without changing any observable state.
+
+        A skipped fire would only have incremented ``total_off_cycles``
+        and ``epoch_cycle`` (done here in bulk), so skipping is exact as
+        long as no injection comes due at a skipped tick.  The fix-up
+        loops replicate :meth:`Router.inject_pending`'s float comparison
+        bit-for-bit, so the wake fires at precisely the per-step tick.
+        """
+        q = router.inject_queue
+        pos = router.inject_pos
+        if pos >= len(q):
+            k = cap
+        else:
+            t_next = q[pos][0]
+            base = BASE_TICKS_PER_NS
+            hb = GATED_HEARTBEAT_TICKS
+            k = int((t_next * base - tick) / hb)
+            if k > cap:
+                k = cap
+            elif k < 0:
+                k = 0
+            # Fire at tick + j*hb is silent iff t_next > (tick + j*hb)/base.
+            while k > 0 and t_next <= (tick + k * hb) / base:
+                k -= 1
+            while k < cap and t_next > (tick + (k + 1) * hb) / base:
+                k += 1
+        if k > 0:
+            router.total_off_cycles += k
+            router.epoch_cycle += k
+        return k
 
     def _commit_arrivals(self, router: Router, tick: int) -> None:
         routers = self.network.routers
         core_router = self.network.core_router
-        while True:
-            due = router.pop_due_arrival(tick)
-            if due is None:
-                break
-            in_port, packet = due
-            router.in_buffers[in_port].commit(packet)
+        nbr_of = self._nbr_port[router.rid]
+        arrivals = router.arrivals
+        in_buffers = router.in_buffers
+        rid = router.rid
+        pop = heapq.heappop
+        while arrivals and arrivals[0][0] <= tick:
+            _, _, in_port, packet = pop(arrivals)
+            in_buffers[in_port].commit(packet)
             self.unsecure(router)
-            out_port = self._route(router.rid, core_router[packet.dst_core])
+            out_port = self._route(rid, core_router[packet.dst_core])
             packet.out_port = out_port
             if out_port != LOCAL:
-                nbr = self.network.topology.neighbor(router.rid, out_port)
-                self.secure(routers[nbr])
+                self.secure(routers[nbr_of[out_port]])
 
     def _route(self, rid: int, dst_router: int) -> int:
         """Inline XY DOR (hot path)."""
@@ -347,23 +471,13 @@ class Simulator:
             return SOUTH
         return NORTH
 
-    def _transport(self, router: Router, tick: int, now_ns: float) -> None:
-        bufs = router.in_buffers
-        has_work = (
-            bufs[0].queue or bufs[1].queue or bufs[2].queue
-            or bufs[3].queue or bufs[4].queue
-        )
-        if has_work:
-            used = self._eject(router, tick)
-            self._forward(router, tick, used)
-        self._inject(router, tick, now_ns)
-
     def _eject(self, router: Router, tick: int) -> int:
         """Deliver one packet to the local NI; returns used-input bitmask."""
+        rr = router.rr
         if router.out_busy_until[LOCAL] > tick:
             return 0
         bufs = router.in_buffers
-        start = router.rr[LOCAL]
+        start = rr[LOCAL]
         for k in range(5):
             ip = (start + k) % 5
             queue = bufs[ip].queue
@@ -371,7 +485,7 @@ class Simulator:
                 continue
             packet = bufs[ip].pop()
             length = packet.length
-            period = router.mode.period_ticks
+            period = router.cur_period
             done = tick + length * period
             if self.wormhole:
                 # The tail may still be streaming in from upstream; the
@@ -386,7 +500,7 @@ class Simulator:
             router.epoch_recvs += 1
             self.accountant.add_hop(router.rid, router.mode.voltage, length)
             self.packets_live -= 1
-            router.rr[LOCAL] = (ip + 1) % 5
+            rr[LOCAL] = (ip + 1) % 5
             return 1 << ip
         return 0
 
@@ -395,12 +509,18 @@ class Simulator:
         routers = self.network.routers
         bufs = router.in_buffers
         busy = router.out_busy_until
-        period = router.mode.period_ticks
-        for port, nbr_id, opp in self.network.links[router.rid]:
+        rr = router.rr
+        rid = router.rid
+        mode = router.mode
+        period = router.cur_period
+        voltage = mode.voltage
+        wormhole = self.wormhole
+        add_hop = self.accountant.add_hop
+        for port, nbr_id, opp in self._links[rid]:
             if busy[port] > tick:
                 continue
             nbr = routers[nbr_id]
-            start = router.rr[port]
+            start = rr[port]
             for k in range(5):
                 ip = (start + k) % 5
                 if used >> ip & 1:
@@ -409,19 +529,22 @@ class Simulator:
                 if not queue or queue[0].out_port != port:
                     continue
                 # The downstream router gates this whole output: if it
-                # cannot receive, no other input can use the port either.
-                if not nbr.can_receive:
+                # cannot receive, no other input can use the port either
+                # (inlined Router.can_receive).
+                if nbr.state is not _ACTIVE or nbr.switch_stall:
                     break
                 nbuf = nbr.in_buffers[opp]
                 packet = queue[0]
-                if not nbuf.can_accept(packet.length):
+                length = packet.length
+                # Inlined InputBuffer.can_accept + reserve (the guard just
+                # performed is exactly reserve()'s over-reservation check).
+                if nbuf.capacity - nbuf.occupancy - nbuf.reserved < length:
                     break
-                nbuf.reserve(packet.length)
+                nbuf.reserved += length
                 bufs[ip].pop()
                 used |= 1 << ip
-                length = packet.length
                 done = tick + length * period
-                if self.wormhole:
+                if wormhole:
                     # Wormhole pipelining: the head commits downstream after
                     # one flit time and may be granted onward immediately;
                     # the tail finishes streaming no earlier than one flit
@@ -435,11 +558,11 @@ class Simulator:
                 packet.hops += 1
                 self._arr_seq += 1
                 nbr.push_arrival(commit_tick, self._arr_seq, opp, packet)
-                self.accountant.add_hop(router.rid, router.mode.voltage, length)
+                add_hop(rid, voltage, length)
                 router.epoch_flits_out += length
                 if router.track_ports:
                     router.flits_out_port[port] += length
-                router.rr[port] = (ip + 1) % 5
+                rr[port] = (ip + 1) % 5
                 break
 
     def _inject(self, router: Router, tick: int, now_ns: float) -> None:
@@ -452,28 +575,26 @@ class Simulator:
         if t_ns > now_ns:
             return
         length = (
-            self.config.request_flits
-            if kind == KIND_REQUEST
-            else self.config.response_flits
+            self._req_flits if kind == KIND_REQUEST else self._resp_flits
         )
         buf = router.in_buffers[LOCAL]
-        if buf.free < length:
+        if buf.capacity - buf.occupancy - buf.reserved < length:
             return
         packet = Packet(self._pid, src, dst, kind, length, t_ns)
         self._pid += 1
         if self.wormhole:
             # NI serialization: the tail enters the local buffer L cycles on.
-            packet.tail_tick = tick + length * router.mode.period_ticks
-        buf.reserve(length)
-        buf.commit(packet)
+            packet.tail_tick = tick + length * router.cur_period
+        # Inlined reserve-then-commit on the buffer we just space-checked.
+        buf.occupancy += length
+        buf.queue.append(packet)
         router.inject_pos = pos + 1
         self.entries_remaining -= 1
         dst_router = self.network.core_router[dst]
         out_port = self._route(router.rid, dst_router)
         packet.out_port = out_port
         if out_port != LOCAL:
-            nbr = self.network.topology.neighbor(router.rid, out_port)
-            self.secure(self.network.routers[nbr])
+            self.secure(self.network.routers[self._nbr_port[router.rid][out_port]])
         router.epoch_sends += 1
         self.stats.record_injection()
         self.packets_live += 1

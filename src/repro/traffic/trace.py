@@ -9,6 +9,7 @@ structure-of-arrays (NumPy-backed, sorted by injection time) and supports
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -224,3 +225,22 @@ class Trace:
                 for e in map(json.loads, fh)
             ]
         return cls.from_entries(entries, header["num_cores"], header["name"])
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Content-sensitive trace identity for cache keys.
+
+    Hashes the trace name, size, duration and a sample of its columns so
+    that regenerating traces with different generator parameters (same
+    benchmark name) invalidates cached artifacts keyed on the trace.
+    """
+    h = hashlib.sha256()
+    h.update(trace.name.encode())
+    h.update(str(len(trace)).encode())
+    h.update(f"{trace.duration_ns:.6f}".encode())
+    if len(trace):
+        h.update(trace.src[:64].tobytes())
+        h.update(trace.dst[:64].tobytes())
+        h.update(trace.t_ns[:64].tobytes())
+        h.update(trace.t_ns[-8:].tobytes())
+    return h.hexdigest()[:16]

@@ -1,0 +1,207 @@
+"""Content-addressed run cache: hits are exact, staleness is impossible.
+
+Extends the trained-weights cache-invalidation tests
+(``test_cache_invalidation.py``) to the simulation-result cache: any
+change to the config, trace content, policy, weights, or feature set must
+change the key, and a corrupted entry must be discarded, never trusted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimConfig
+from repro.exec.cache import RunCache, code_version, run_key
+from repro.exec.pool import SimTask, run_sim_tasks
+from repro.experiments.runner import ModelMetrics
+from repro.traffic.trace import KIND_REQUEST, Trace
+
+CFG = SimConfig(topology="mesh", radix=3, epoch_cycles=50)
+FEATURES = ("f1", "f2")
+
+
+def make_trace(shift: float = 0.0, name: str = "same-name") -> Trace:
+    entries = [
+        (i % 8, (i % 8) + 1, KIND_REQUEST, 5.0 * i + shift)
+        for i in range(1, 60)
+    ]
+    return Trace.from_entries(entries, 9, name)
+
+
+def key_with(**overrides) -> str:
+    kw = dict(
+        policy="pg",
+        trace=make_trace(),
+        config=CFG,
+        weights=None,
+        feature_names=FEATURES,
+        feature_set_name="reduced-5",
+    )
+    kw.update(overrides)
+    return run_key(
+        kw["policy"], kw["trace"], kw["config"], kw["weights"],
+        kw["feature_names"], kw["feature_set_name"],
+    )
+
+
+def make_metrics(**overrides) -> ModelMetrics:
+    kw = dict(
+        model="pg",
+        trace="same-name",
+        throughput_flits_per_ns=0.5,
+        avg_latency_ns=12.125,
+        static_pj=123.5,
+        dynamic_pj=44.25,
+        gated_fraction=0.25,
+        elapsed_ns=900.0,
+        packets_delivered=42,
+        mode_distribution={3: 0.5, 7: 0.5},
+        wake_events=6.0,
+    )
+    kw.update(overrides)
+    return ModelMetrics(**kw)
+
+
+class TestRunKey:
+    def test_stable_for_identical_inputs(self):
+        assert key_with() == key_with()
+
+    def test_changes_with_any_config_field(self):
+        base = key_with()
+        assert key_with(config=CFG.with_(t_idle=CFG.t_idle + 1)) != base
+        assert key_with(config=CFG.with_(epoch_cycles=60)) != base
+        assert key_with(config=CFG.with_(switching="wormhole")) != base
+        assert key_with(config=CFG.with_(buffer_depth=CFG.buffer_depth + 1)) != base
+
+    def test_ignores_non_semantic_extra(self):
+        assert key_with(config=CFG.with_(extra={"note": "hi"})) == key_with()
+
+    def test_changes_with_trace_content(self):
+        # Same benchmark name, different timing — the regenerated-trace
+        # failure mode (e.g. a different seed or duration).
+        assert key_with(trace=make_trace(0.25)) != key_with()
+
+    def test_changes_with_policy(self):
+        assert key_with(policy="baseline") != key_with()
+
+    def test_changes_with_weights(self):
+        w = np.arange(6, dtype=float)
+        base = key_with(weights=w)
+        assert base != key_with()  # reactive vs trained
+        assert key_with(weights=w + 1e-12) != base  # byte-exact identity
+        assert key_with(weights=w.copy()) == base
+
+    def test_changes_with_feature_set(self):
+        assert key_with(feature_names=("f1", "f3")) != key_with()
+        assert key_with(feature_set_name="full-41") != key_with()
+
+    def test_code_version_is_stable_and_short(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestRunCacheRoundTrip:
+    def test_hit_returns_identical_metrics(self, tmp_path):
+        cache = RunCache(tmp_path)
+        metrics = make_metrics()
+        cache.put("k" * 24, metrics)
+        got = cache.get("k" * 24)
+        assert got == metrics
+        assert vars(got) == vars(metrics)
+        assert cache.stats() == {"hits": 1, "misses": 0, "discarded": 0}
+
+    def test_miss_on_absent_key(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.get("absent" + "0" * 18) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_corrupted_entry_discarded_and_removed(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = "c" * 24
+        cache.put(key, make_metrics())
+        cache.path_for(key).write_text("{ not json at all")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+        assert cache.stats()["discarded"] == 1
+
+    def test_truncated_entry_discarded(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = "t" * 24
+        cache.put(key, make_metrics())
+        full = cache.path_for(key).read_text()
+        cache.path_for(key).write_text(full[: len(full) // 2])
+        assert cache.get(key) is None
+
+    def test_wrong_key_payload_discarded(self, tmp_path):
+        # An entry copied to the wrong address must not be trusted.
+        cache = RunCache(tmp_path)
+        cache.put("a" * 24, make_metrics())
+        payload = cache.path_for("a" * 24).read_text()
+        cache.path_for("b" * 24).write_text(payload)
+        assert cache.get("b" * 24) is None
+
+    def test_wrong_schema_discarded(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = "s" * 24
+        cache.put(key, make_metrics())
+        payload = json.loads(cache.path_for(key).read_text())
+        payload["schema"] = 999
+        cache.path_for(key).write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+    def test_missing_metric_field_discarded(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = "m" * 24
+        cache.put(key, make_metrics())
+        payload = json.loads(cache.path_for(key).read_text())
+        del payload["metrics"]["elapsed_ns"]
+        cache.path_for(key).write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+    def test_mode_distribution_keys_round_trip_as_ints(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = "d" * 24
+        cache.put(key, make_metrics(mode_distribution={3: 0.25, 6: 0.75}))
+        got = cache.get(key)
+        assert got.mode_distribution == {3: 0.25, 6: 0.75}
+        assert all(isinstance(k, int) for k in got.mode_distribution)
+
+
+class TestRunSimTasksThroughCache:
+    @pytest.fixture()
+    def task(self):
+        entries = [(i % 9, (i + 2) % 9, KIND_REQUEST, 7.0 * i) for i in range(40)]
+        trace = Trace.from_entries(entries, CFG.num_cores, "cache-sim")
+        return SimTask(policy="pg", trace=trace, sim=CFG)
+
+    def test_second_run_is_all_hits_and_identical(self, tmp_path, task):
+        cache = RunCache(tmp_path)
+        first = run_sim_tasks([task], cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 1, "discarded": 0}
+        second = run_sim_tasks([task], cache=cache)
+        assert cache.hits == 1
+        assert vars(first[0]) == vars(second[0])
+
+    def test_config_change_misses(self, tmp_path, task):
+        cache = RunCache(tmp_path)
+        run_sim_tasks([task], cache=cache)
+        changed = SimTask(
+            policy=task.policy,
+            trace=task.trace,
+            sim=task.sim.with_(t_idle=task.sim.t_idle + 2),
+        )
+        run_sim_tasks([changed], cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_weights_change_misses(self, tmp_path, task):
+        cache = RunCache(tmp_path)
+        key_none = task.cache_key()
+        with_weights = SimTask(
+            policy="dozznoc",
+            trace=task.trace,
+            sim=task.sim,
+            weights=np.zeros((6, 5)),
+        )
+        assert with_weights.cache_key() != key_none

@@ -1,0 +1,125 @@
+"""Parallel execution must be bit-identical to serial execution.
+
+The exec layer's contract is that ``jobs`` only changes wall-clock time:
+every (model, trace) simulation and every training run executes identical
+per-task code, and results are reassembled in submission order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimConfig
+from repro.core.features import FULL_FEATURES, REDUCED_FEATURES
+from repro.exec.pool import (
+    SimTask,
+    effective_jobs,
+    feature_set_spec,
+    map_tasks,
+    resolve_feature_set,
+    run_sim_tasks,
+)
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.traffic.benchmarks import generate_benchmark_trace
+
+QUICK_SIM = SimConfig(topology="mesh", radix=3, epoch_cycles=60)
+
+
+@pytest.fixture(scope="module")
+def campaign_pair():
+    campaign = CampaignConfig(
+        sim=QUICK_SIM,
+        duration_ns=700.0,
+        seed=3,
+        models=("baseline", "pg", "dozznoc"),
+        lambdas=(1e-2, 1.0),
+    )
+    serial = run_campaign(campaign, jobs=1)
+    parallel = run_campaign(campaign, jobs=4)
+    return serial, parallel
+
+
+class TestCampaignDeterminism:
+    def test_summary_rows_identical(self, campaign_pair):
+        serial, parallel = campaign_pair
+        assert serial.summary_rows() == parallel.summary_rows()
+
+    def test_trained_weights_identical(self, campaign_pair):
+        serial, parallel = campaign_pair
+        assert set(serial.weights) == set(parallel.weights)
+        for model, w in serial.weights.items():
+            assert np.array_equal(w, parallel.weights[model])
+
+    def test_every_metric_field_identical(self, campaign_pair):
+        serial, parallel = campaign_pair
+        assert serial.metrics.keys() == parallel.metrics.keys()
+        for trace_name, per_model in serial.metrics.items():
+            for model, metrics in per_model.items():
+                assert vars(metrics) == vars(
+                    parallel.metrics[trace_name][model]
+                ), (trace_name, model)
+
+    def test_normalized_identical(self, campaign_pair):
+        serial, parallel = campaign_pair
+        for trace_name, per_model in serial.normalized.items():
+            for model, norm in per_model.items():
+                assert norm == parallel.normalized[trace_name][model]
+
+
+class TestMapTasks:
+    def test_serial_matches_parallel(self):
+        tasks = list(range(20))
+        assert map_tasks(_square, tasks, jobs=1) == map_tasks(
+            _square, tasks, jobs=3
+        )
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        # A lambda cannot cross a process boundary; the pool layer must
+        # quietly do the work inline instead of crashing.
+        offset = 7
+        out = map_tasks(lambda x: x + offset, [1, 2, 3], jobs=4)
+        assert out == [8, 9, 10]
+
+    def test_empty_task_list(self):
+        assert map_tasks(_square, [], jobs=4) == []
+
+    def test_effective_jobs(self):
+        assert effective_jobs(1, 100) == 1
+        assert effective_jobs(4, 2) == 2  # never more workers than tasks
+        assert effective_jobs(None, 8) >= 1
+        assert effective_jobs(0, 8) >= 1
+        assert effective_jobs(-3, 8) >= 1
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestSimTaskFanout:
+    def test_sim_tasks_identical_serial_vs_parallel(self):
+        trace = generate_benchmark_trace(
+            "blackscholes", num_cores=QUICK_SIM.num_cores,
+            duration_ns=500.0, seed=1,
+        )
+        tasks = [
+            SimTask(policy=policy, trace=trace, sim=QUICK_SIM)
+            for policy in ("baseline", "pg")
+        ]
+        serial = run_sim_tasks(tasks, jobs=1)
+        parallel = run_sim_tasks(tasks, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert vars(a) == vars(b)
+
+
+class TestFeatureSetSpecs:
+    def test_canonical_sets_travel_by_name(self):
+        assert feature_set_spec(REDUCED_FEATURES) == REDUCED_FEATURES.name
+        assert feature_set_spec(FULL_FEATURES) == FULL_FEATURES.name
+
+    def test_resolve_round_trips(self):
+        assert resolve_feature_set(REDUCED_FEATURES.name) is REDUCED_FEATURES
+        assert resolve_feature_set(FULL_FEATURES.name) is FULL_FEATURES
+        assert resolve_feature_set(REDUCED_FEATURES) is REDUCED_FEATURES
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown feature set"):
+            resolve_feature_set("no-such-set")
