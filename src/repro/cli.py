@@ -55,7 +55,35 @@ def _scale(args: argparse.Namespace) -> EvalScale:
         scale,
         jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache_dir", None) or scale.cache_dir,
+        audit=getattr(args, "audit", False),
     )
+
+
+def _model_cell(row: dict) -> str:
+    """Model column text; loudly marks rows built from undrained runs."""
+    label = str(row["model"])
+    if row.get("undrained_runs"):
+        label += f"  !! {row['undrained_runs']} UNDRAINED"
+    return label
+
+
+def _warn_undrained(result) -> None:
+    """Print a loud warning for campaign runs that did not drain."""
+    undrained = result.undrained_runs()
+    if not undrained:
+        return
+    bar = "!" * 70
+    print(f"\n{bar}", file=sys.stderr)
+    print(
+        f"WARNING: {len(undrained)} run(s) did NOT drain the network — "
+        "they hit the safety cap or horizon with packets stuck in flight.\n"
+        "Their metrics measure a truncated run; do not read them as clean "
+        "results:",
+        file=sys.stderr,
+    )
+    for trace, model in undrained:
+        print(f"  - trace {trace!r}, model {model!r}", file=sys.stderr)
+    print(bar, file=sys.stderr)
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -98,7 +126,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print(f"\nFig 8 ({label}):")
             rows = [
                 (
-                    row["model"],
+                    _model_cell(row),
                     f"{row['static_savings_pct']:.1f}",
                     f"{row['dynamic_savings_pct']:.1f}",
                     f"{row['throughput_loss_pct']:.1f}",
@@ -112,6 +140,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                     rows,
                 )
             )
+            _warn_undrained(campaign)
     elif name == "fig9":
         rows = [
             (fa.feature, f"{fa.average:.2f}")
@@ -133,9 +162,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.compressed:
         trace = compress_trace(trace)
-    result = run_simulation(config, trace, make_policy(args.policy))
+    auditor = None
+    if args.audit:
+        from repro.validate.invariants import InvariantAuditor
+
+        auditor = InvariantAuditor(artifact_dir=args.artifact_dir)
+    result = run_simulation(config, trace, make_policy(args.policy),
+                            audit=auditor)
     for key, value in sorted(result.summary().items()):
         print(f"{key:28s} {value:.6g}")
+    print(f"{'drained':28s} {result.drained}")
+    if auditor is not None:
+        print(f"{'audits':28s} {auditor.epoch_audits} epoch + "
+              f"{auditor.end_audits} end-of-run, all invariants held")
+    if not result.drained:
+        print(
+            "WARNING: the run did NOT drain (safety cap or horizon hit with "
+            "packets in flight); metrics above measure a truncated run.",
+            file=sys.stderr,
+        )
     if args.map:
         from repro.experiments.heatmap import spatial_report
 
@@ -177,12 +222,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         cache_dir=scale.cache_dir,
         jobs=scale.jobs,
+        audit=scale.audit,
     )
     cache = campaign_run_cache(campaign)
     result = run_campaign(campaign, cache=cache)
     rows = [
         (
-            row["model"],
+            _model_cell(row),
             f"{row['static_savings_pct']:.1f}",
             f"{row['dynamic_savings_pct']:.1f}",
             f"{row['throughput_loss_pct']:.1f}",
@@ -204,7 +250,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"run cache: {cache.hits} hit(s), {cache.misses} miss(es) "
             f"[{cache.cache_dir}]"
         )
+    _warn_undrained(result)
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.validate.fuzz import run_fuzz
+
+    report = run_fuzz(
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        artifact_dir=args.artifact_dir,
+        replay=args.replay,
+        progress=(None if args.quiet else
+                  (lambda line: print(line, flush=True))),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -234,6 +297,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1=serial, 0=all CPUs)")
     p_fig.add_argument("--cache-dir", default=None,
                        help="cache trained weights and simulation results")
+    p_fig.add_argument("--audit", action="store_true",
+                       help="run invariant audits on every simulation")
     p_fig.set_defaults(fn=_cmd_figure, cmesh=False)
 
     p_run = sub.add_parser("run", help="run one policy on one benchmark")
@@ -248,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="vct")
     p_run.add_argument("--map", action="store_true",
                        help="print per-router heatmaps")
+    p_run.add_argument("--audit", action="store_true",
+                       help="run invariant audits (epoch + end-of-run)")
+    p_run.add_argument("--artifact-dir", default=None,
+                       help="where to dump a JSON repro artifact on "
+                            "audit failure")
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser("trace", help="generate / inspect a trace")
@@ -271,7 +341,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes (1=serial, 0=all CPUs)")
     p_camp.add_argument("--cache-dir", default=None,
                         help="cache trained weights and simulation results")
+    p_camp.add_argument("--audit", action="store_true",
+                        help="run invariant audits on every evaluation run")
     p_camp.set_defaults(fn=_cmd_campaign)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz: random configs x traces x all policies, "
+             "audits on, serial-vs-cached-vs-parallel comparison",
+    )
+    p_fuzz.add_argument("--trials", type=int, default=25)
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="master seed; (seed, trial) is deterministic")
+    p_fuzz.add_argument("--jobs", type=int, default=2,
+                        help="workers for the parallel differential leg")
+    p_fuzz.add_argument("--artifact-dir", default="fuzz-artifacts",
+                        help="where to write JSON repro artifacts on failure")
+    p_fuzz.add_argument("--replay", type=int, default=None, metavar="TRIAL",
+                        help="run only this trial index (replay a failure "
+                             "artifact's seed/trial pair)")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-trial progress lines")
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     sub.add_parser("list", help="list benchmarks/policies/experiments").set_defaults(
         fn=_cmd_list

@@ -27,6 +27,22 @@ class SimulationError(ReproError):
     """The simulation kernel detected an internal inconsistency."""
 
 
+class AuditError(SimulationError):
+    """An invariant audit failed (see :mod:`repro.validate`).
+
+    Instances carry the failing check, the simulated tick, and — when the
+    auditor was given an artifact directory — the path of the JSON repro
+    artifact that reproduces the failing run.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.check: str | None = None
+        self.tick: int | None = None
+        self.artifact: dict | None = None
+        self.artifact_path: str | None = None
+
+
 class TrafficError(ReproError):
     """A trace or traffic generator was used incorrectly."""
 

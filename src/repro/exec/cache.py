@@ -39,13 +39,18 @@ from repro.traffic.trace import Trace, trace_fingerprint
 if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
     from repro.experiments.runner import ModelMetrics
 
-#: Bump when the serialized payload layout changes.
-SCHEMA_VERSION = 1
+#: Bump when the serialized payload layout changes.  v2: ModelMetrics
+#: gained ``drained`` — v1 entries could report a deadlocked (safety-cap)
+#: run as clean, so they must never be trusted again.
+SCHEMA_VERSION = 2
 
 #: Modules whose source determines simulation results.  Editing any of
 #: these changes the code-version digest and invalidates cached runs.
+#: ``tests/test_versioned_modules.py`` asserts this set covers everything
+#: :mod:`repro.noc.simulator` imports (transitively, one level).
 _VERSIONED_MODULES: tuple[str, ...] = (
     "repro.common.config",
+    "repro.common.errors",
     "repro.common.units",
     "repro.core.controller",
     "repro.core.features",
@@ -56,6 +61,7 @@ _VERSIONED_MODULES: tuple[str, ...] = (
     "repro.noc.network",
     "repro.noc.packet",
     "repro.noc.router",
+    "repro.noc.routing",
     "repro.noc.simulator",
     "repro.noc.stats",
     "repro.noc.topology",
@@ -152,6 +158,7 @@ def _metrics_from_payload(key: str, payload: dict) -> "ModelMetrics":
         int(k): float(v) for k, v in data["mode_distribution"].items()
     }
     data["packets_delivered"] = int(data["packets_delivered"])
+    data["drained"] = bool(data["drained"])
     return ModelMetrics(**data)
 
 

@@ -89,13 +89,21 @@ def feature_set_spec(feature_set: FeatureSet) -> str | FeatureSet:
 
 @dataclass(frozen=True, eq=False)
 class SimTask:
-    """One independent (policy, trace, config) simulation."""
+    """One independent (policy, trace, config) simulation.
+
+    ``audit`` attaches an invariant auditor to the run (see
+    :mod:`repro.validate`) — workers audit too, so a parallel campaign
+    gets the same conservation guarantees as a serial one.  Audits never
+    change results, so audited and unaudited runs share cache entries.
+    """
 
     policy: str
     trace: Trace
     sim: SimConfig
     weights: np.ndarray | None = None
     feature_set: str | FeatureSet = REDUCED_FEATURES.name
+    audit: bool = False
+    artifact_dir: str | None = None
 
     def cache_key(self) -> str:
         """Content address of this task's result."""
@@ -126,7 +134,12 @@ def execute_sim_task(task: SimTask) -> "ModelMetrics":
     policy = make_policy(
         task.policy, weights=task.weights, feature_set=feature_set
     )
-    result = run_simulation(task.sim, task.trace, policy)
+    audit = None
+    if task.audit:
+        from repro.validate.invariants import InvariantAuditor
+
+        audit = InvariantAuditor(artifact_dir=task.artifact_dir)
+    result = run_simulation(task.sim, task.trace, policy, audit=audit)
     return ModelMetrics.from_result(result)
 
 

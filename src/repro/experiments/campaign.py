@@ -67,6 +67,9 @@ class CampaignConfig:
     lambdas: tuple[float, ...] = DEFAULT_LAMBDAS
     cache_dir: str | Path | None = None
     jobs: int = 1
+    #: Attach invariant auditors (repro.validate) to every evaluation run;
+    #: audits raise AuditError on violation and never change results.
+    audit: bool = False
 
 
 @dataclass
@@ -93,13 +96,35 @@ class CampaignResult:
             gated_fraction=float(np.mean([r.gated_fraction for r in rows])),
         )
 
+    def undrained_runs(self) -> list[tuple[str, str]]:
+        """``(trace, model)`` pairs whose run did not empty the network.
+
+        An undrained run hit the kernel safety cap or its horizon with
+        packets still stuck — its metrics measure a truncated run and must
+        not be read as a clean result.
+        """
+        return [
+            (trace, model)
+            for trace, per_model in self.metrics.items()
+            for model, m in per_model.items()
+            if not m.drained
+        ]
+
     def summary_rows(self) -> list[dict[str, float | str]]:
-        """One averaged row per model (Fig 8 / Section IV.B.2 shape)."""
+        """One averaged row per model (Fig 8 / Section IV.B.2 shape).
+
+        ``undrained_runs`` counts the model's test-trace runs that failed
+        to drain; renderers must flag any non-zero value loudly.
+        """
         rows: list[dict[str, float | str]] = []
         for model in self.config.models:
             if model == "baseline":
                 continue
             avg = self.average_normalized(model)
+            undrained = sum(
+                1 for per_model in self.metrics.values()
+                if not per_model[model].drained
+            )
             rows.append(
                 {
                     "model": model,
@@ -108,6 +133,7 @@ class CampaignResult:
                     "throughput_loss_pct": 100 * avg.throughput_loss,
                     "latency_increase_pct": 100 * avg.latency_increase,
                     "gated_fraction_pct": 100 * avg.gated_fraction,
+                    "undrained_runs": undrained,
                 }
             )
         return rows
@@ -178,6 +204,7 @@ def run_campaign(
             sim=campaign.sim,
             weights=weights.get(model),
             feature_set=spec,
+            audit=campaign.audit,
         )
         for trace in suite.test
         for model in campaign.models

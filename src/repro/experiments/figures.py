@@ -55,6 +55,8 @@ class EvalScale:
     seed: int = 0
     cache_dir: str | Path | None = None
     jobs: int = 1
+    #: Attach invariant auditors (repro.validate) to campaign runs.
+    audit: bool = False
 
     @classmethod
     def paper(cls, cache_dir: str | Path | None = None) -> "EvalScale":
@@ -127,6 +129,7 @@ def _campaign(scale: EvalScale, compressed: bool) -> CampaignConfig:
         seed=scale.seed,
         cache_dir=scale.cache_dir,
         jobs=scale.jobs,
+        audit=scale.audit,
     )
 
 

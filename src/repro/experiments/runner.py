@@ -34,7 +34,14 @@ MODEL_LABELS: dict[str, str] = {
 
 @dataclass(frozen=True)
 class ModelMetrics:
-    """Headline metrics for one model on one trace."""
+    """Headline metrics for one model on one trace.
+
+    ``drained`` records whether the run actually emptied the network.  A
+    run that hit the safety cap (kernel deadlock backstop) or ended at its
+    horizon with stuck packets produces metrics that look plausible but
+    measure a *truncated* run — consumers must treat ``drained=False``
+    rows as suspect, and the campaign/figure tables flag them loudly.
+    """
 
     model: str
     trace: str
@@ -47,6 +54,7 @@ class ModelMetrics:
     packets_delivered: int
     mode_distribution: dict[int, float]
     wake_events: float = 0.0
+    drained: bool = True
 
     @classmethod
     def from_result(cls, result: SimResult) -> "ModelMetrics":
@@ -63,6 +71,7 @@ class ModelMetrics:
             packets_delivered=int(summary["packets_delivered"]),
             mode_distribution=result.stats.mode_distribution(),
             wake_events=summary["wake_events"],
+            drained=result.drained,
         )
 
 

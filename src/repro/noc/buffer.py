@@ -66,6 +66,14 @@ class InputBuffer:
         self.occupancy += packet.length
         self.queue.append(packet)
 
+    def queued_flits(self) -> int:
+        """Flits actually resident in the FIFO (audit ground truth).
+
+        Recomputed from the queued packets rather than read from the
+        ``occupancy`` counter, so an auditor can cross-check the two.
+        """
+        return sum(p.length for p in self.queue)
+
     def head(self) -> Packet | None:
         """The packet at the FIFO head, or ``None``."""
         return self.queue[0] if self.queue else None

@@ -235,6 +235,15 @@ class Router:
             return 0.0
         return self.occ_sum / self.epoch_cycle
 
+    def residency_ticks(self) -> int:
+        """Total settled residency: gated plus every active mode (ticks).
+
+        After the end-of-run flush this must equal the final simulated
+        tick — the residency-conservation invariant audited by
+        :mod:`repro.validate`.
+        """
+        return self.gated_ticks + sum(self.mode_ticks)
+
     def reset_epoch(self) -> None:
         """Clear per-epoch accumulators (the label was already captured)."""
         self.prev_ibu = self.current_ibu()

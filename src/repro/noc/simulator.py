@@ -101,6 +101,7 @@ class Simulator:
         policy: "PowerPolicy",
         collect_features: bool = False,
         timeline=None,
+        audit=None,
     ) -> None:
         self.config = config
         self.trace = trace
@@ -110,11 +111,21 @@ class Simulator:
         self.epoch_cycles = config.epoch_cycles
         self.t_idle = config.t_idle
         self.wormhole = config.switching == "wormhole"
+        # Invariant auditor (see repro.validate): observes state at epoch
+        # boundaries and end-of-run, never mutates it, so audited runs are
+        # bit-identical to unaudited ones.  ``audit=True`` builds the
+        # default auditor.
+        if audit is True:
+            from repro.validate.invariants import InvariantAuditor
+
+            audit = InvariantAuditor()
+        self.audit = audit or None
 
         self.network = Network(config, policy.initial_mode())
         self.entries_remaining = self.network.load_trace(trace)
+        self.total_trace_entries = self.entries_remaining
         self.accountant = EnergyAccountant(self.network.topology.num_routers)
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(sample_seed=config.seed)
 
         self.now_tick = 0
         self.now_ns = 0.0
@@ -252,6 +263,41 @@ class Simulator:
             router.next_event_tick = nxt
             heapq.heappush(self._heap, (nxt, router.rid))
 
+    def _rollback_future_skips(
+        self, final_tick: int, drain_rid: int | None
+    ) -> None:
+        """Un-credit batch-skipped heartbeats the run ended before reaching.
+
+        :meth:`_heartbeat_skip` credits ``total_off_cycles`` and
+        ``epoch_cycle`` eagerly for future silent fires.  When the run
+        terminates mid-batch (drain or horizon), per-step execution would
+        never have run the fires scheduled past ``final_tick``, so the
+        credits must be returned — the end-of-run twin of
+        :meth:`_expedite`'s rollback on wake-up.
+
+        ``drain_rid`` is the router whose fire drained the network, or
+        ``None`` for a horizon/cap stop.  On a drain stop, a virtual
+        heartbeat landing exactly on the final tick only ran per-step if
+        its (tick, rid) heap entry popped before the draining fire.
+        """
+        hb = GATED_HEARTBEAT_TICKS
+        for router in self.network.routers:
+            if router.state is not _INACTIVE:
+                continue
+            delta = router.next_event_tick - final_tick
+            if delta <= 0:
+                continue
+            over = (delta - 1) // hb
+            if (
+                delta % hb == 0
+                and drain_rid is not None
+                and router.rid > drain_rid
+            ):
+                over += 1
+            if over:
+                router.total_off_cycles -= over
+                router.epoch_cycle -= over
+
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
@@ -269,6 +315,7 @@ class Simulator:
         base = BASE_TICKS_PER_NS
         final_tick = 0
         drained = False
+        drain_rid: int | None = None
 
         while heap:
             tick, rid = heappop(heap)
@@ -296,13 +343,18 @@ class Simulator:
                 and self.entries_remaining == 0
             ):
                 drained = True
+                drain_rid = rid
                 break
 
         if horizon is not None:
             drained = self.packets_live == 0 and self.entries_remaining == 0
         self.now_tick = final_tick
         self.now_ns = final_tick / BASE_TICKS_PER_NS
+        if self._allow_skip and self._uses_gating:
+            self._rollback_future_skips(final_tick, drain_rid)
         self._flush_residency()
+        if self.audit is not None:
+            self.audit.on_end(self, drained)
         elapsed_ns = max(self.now_ns, 1e-9)
         return SimResult(
             policy_name=self.policy.name,
@@ -616,6 +668,8 @@ class Simulator:
                 )
         self.policy.on_epoch(router, self, features)
         router.reset_epoch()
+        if self.audit is not None:
+            self.audit.on_epoch(self, router)
 
 
 def run_simulation(
@@ -624,10 +678,17 @@ def run_simulation(
     policy: "PowerPolicy",
     collect_features: bool = False,
     timeline=None,
+    audit=None,
 ) -> SimResult:
     """One-call convenience wrapper around :class:`Simulator`.
 
     ``timeline`` may be a :class:`repro.noc.timeline.TimelineSampler` to
-    record periodic global-state snapshots during the run.
+    record periodic global-state snapshots during the run.  ``audit`` may
+    be ``True`` (default invariant auditor) or an
+    :class:`repro.validate.InvariantAuditor`; audits raise
+    :class:`repro.common.errors.AuditError` on any conservation violation
+    and never change results.
     """
-    return Simulator(config, trace, policy, collect_features, timeline).run()
+    return Simulator(
+        config, trace, policy, collect_features, timeline, audit=audit
+    ).run()

@@ -9,6 +9,7 @@ the *label* of that vector — the router's future input buffer utilization —
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +36,12 @@ class NetworkStats:
     latency_sum_ns: float = 0.0
     latencies_ns: list[float] = field(default_factory=list)
     max_latency_sample: int = 50_000
+    #: Seed for the latency reservoir (the simulator passes the config seed
+    #: so sampled percentiles are deterministic for a given run).
+    sample_seed: int = 0
+    _sample_rng: random.Random | None = field(
+        default=None, repr=False, compare=False
+    )
     #: Per-epoch DVFS decisions (Figure 7): mode index -> count.
     mode_selections: dict[int, int] = field(
         default_factory=lambda: {m: 0 for m in range(3, 8)}
@@ -52,13 +59,29 @@ class NetworkStats:
         self.packets_injected += 1
 
     def record_delivery(self, latency_ns: float, flits: int, hops: int) -> None:
-        """Count one packet reaching its destination NI."""
-        self.packets_delivered += 1
+        """Count one packet reaching its destination NI.
+
+        Latencies feeding :meth:`latency_percentile` are kept in a
+        bounded reservoir (Vitter's Algorithm R, seeded from
+        ``sample_seed``): every delivery — not just the first
+        ``max_latency_sample`` — has an equal chance of being retained, so
+        long-run percentiles are not biased toward warmup traffic.  Runs
+        shorter than the bound keep every latency exactly.
+        """
+        n = self.packets_delivered
+        self.packets_delivered = n + 1
         self.flits_delivered += flits
         self.hops_sum += hops
         self.latency_sum_ns += latency_ns
-        if len(self.latencies_ns) < self.max_latency_sample:
+        if n < self.max_latency_sample:
             self.latencies_ns.append(latency_ns)
+        else:
+            rng = self._sample_rng
+            if rng is None:
+                rng = self._sample_rng = random.Random(self.sample_seed)
+            j = rng.randrange(n + 1)
+            if j < self.max_latency_sample:
+                self.latencies_ns[j] = latency_ns
 
     @property
     def avg_latency_ns(self) -> float:

@@ -115,6 +115,14 @@ class EnergyAccountant:
         """All energy, every category."""
         return self.total_static_pj + self.total_dynamic_pj
 
+    def residency_time_ns(self, router: int) -> float:
+        """Gated plus powered wall-clock time settled for ``router`` (ns).
+
+        After the simulator's end-of-run residency flush this must match
+        the elapsed simulated time — audited by :mod:`repro.validate`.
+        """
+        return float(self.gated_time_ns[router] + self.powered_time_ns[router])
+
     def average_static_power_w(self, elapsed_ns: float) -> float:
         """Mean static power over the run, across all routers (watts)."""
         if elapsed_ns <= 0:

@@ -1,0 +1,35 @@
+"""Self-checking tooling: invariant audits + differential fuzzing.
+
+Two complementary defenses against silently wrong simulation results:
+
+* :class:`InvariantAuditor` — machine-checkable conservation laws
+  (packets, flits, secure refcounts, energy residency, epoch bounds,
+  monotone time) evaluated at epoch boundaries and end-of-run.  Attach one
+  via ``Simulator(..., audit=...)``, ``run_simulation(..., audit=True)``,
+  or the ``--audit`` CLI flag; violations raise
+  :class:`~repro.common.errors.AuditError` with a JSON repro artifact.
+* :func:`run_fuzz` — randomized small configs x traces x all five
+  policies, each run with audits on plus a serial-vs-cached-vs-parallel
+  differential comparison (``dozznoc fuzz``).
+"""
+
+from repro.common.errors import AuditError
+from repro.validate.fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    FuzzTrial,
+    build_trial,
+    run_fuzz,
+)
+from repro.validate.invariants import InvariantAuditor, write_artifact
+
+__all__ = [
+    "AuditError",
+    "FuzzFailure",
+    "FuzzReport",
+    "FuzzTrial",
+    "InvariantAuditor",
+    "build_trial",
+    "run_fuzz",
+    "write_artifact",
+]

@@ -1,0 +1,250 @@
+"""InvariantAuditor: clean runs pass, corruption is caught, audits are free.
+
+Three contracts:
+
+* a healthy kernel run passes every audit (epoch + end-of-run),
+* an audited run is **bit-identical** to an unaudited one (audits are
+  pure reads),
+* each conservation check actually fires when its invariant is broken,
+  and the failure carries a replayable JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.errors import AuditError, SimulationError
+from repro.core.controller import make_policy
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.noc.simulator import Simulator, run_simulation
+from repro.validate import InvariantAuditor, write_artifact
+
+
+def _run_audited(config, trace, policy="dozznoc"):
+    auditor = InvariantAuditor()
+    sim = Simulator(config, trace, make_policy(policy), audit=auditor)
+    result = sim.run()
+    return sim, result, auditor
+
+
+class TestCleanRuns:
+    def test_clean_run_passes_all_audits(self, drain_config, tiny_trace):
+        sim, result, auditor = _run_audited(drain_config, tiny_trace)
+        assert result.drained
+        assert auditor.end_audits == 1
+        assert auditor.epoch_audits > 0
+        assert auditor.checks_passed > 0
+
+    @pytest.mark.parametrize(
+        "policy", ["baseline", "pg", "lead", "dozznoc", "turbo"]
+    )
+    def test_every_policy_audits_clean(self, drain_config, tiny_trace, policy):
+        _, result, auditor = _run_audited(drain_config, tiny_trace, policy)
+        assert result.drained
+        assert auditor.end_audits == 1
+
+    def test_audit_true_builds_default_auditor(self, drain_config, tiny_trace):
+        sim = Simulator(
+            drain_config, tiny_trace, make_policy("pg"), audit=True
+        )
+        sim.run()
+        assert isinstance(sim.audit, InvariantAuditor)
+        assert sim.audit.end_audits == 1
+
+    def test_horizon_run_audits_clean(self, small_config, tiny_trace):
+        # Horizon runs may end undrained; the end audit must still pass
+        # (it simply skips the drain-state checks).
+        _, result, auditor = _run_audited(small_config, tiny_trace)
+        assert auditor.end_audits == 1
+
+
+class TestBitIdentical:
+    def test_audited_run_matches_unaudited(self, drain_config, tiny_trace):
+        plain = run_simulation(
+            drain_config, tiny_trace, make_policy("dozznoc")
+        )
+        audited = run_simulation(
+            drain_config, tiny_trace, make_policy("dozznoc"), audit=True
+        )
+        assert audited.summary() == plain.summary()
+        assert audited.stats.latencies_ns == plain.stats.latencies_ns
+        assert audited.drained == plain.drained
+
+    def test_audited_campaign_matches_unaudited(self):
+        quick = SimConfig(topology="mesh", radix=3, epoch_cycles=60)
+        kwargs = dict(
+            sim=quick,
+            duration_ns=700.0,
+            seed=3,
+            models=("baseline", "pg", "dozznoc"),
+            lambdas=(1e-2, 1.0),
+        )
+        plain = run_campaign(CampaignConfig(**kwargs))
+        audited = run_campaign(CampaignConfig(**kwargs, audit=True))
+        assert audited.summary_rows() == plain.summary_rows()
+        for model, w in plain.weights.items():
+            assert (audited.weights[model] == w).all()
+
+
+class TestCorruptionDetection:
+    """Break one invariant at a time; the matching check must fire."""
+
+    def _drained_sim(self, drain_config, tiny_trace):
+        sim = Simulator(drain_config, tiny_trace, make_policy("dozznoc"))
+        sim.run()
+        return sim
+
+    def _expect(self, check, fn):
+        with pytest.raises(AuditError) as excinfo:
+            fn()
+        err = excinfo.value
+        assert err.check == check
+        assert err.tick is not None and err.tick >= 0
+        assert err.artifact is not None and err.artifact["check"] == check
+        assert isinstance(err, SimulationError)
+        return err
+
+    def test_occupancy_drift(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.network.routers[0].in_buffers[0].occupancy += 1
+        self._expect(
+            "flit-conservation", lambda: InvariantAuditor().on_epoch(sim)
+        )
+
+    def test_reservation_overflow(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        buf = sim.network.routers[1].in_buffers[0]
+        buf.reserved = buf.capacity + 1
+        self._expect(
+            "flit-conservation", lambda: InvariantAuditor().on_epoch(sim)
+        )
+
+    def test_lost_packet(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.stats.packets_delivered -= 1
+        self._expect(
+            "packet-conservation", lambda: InvariantAuditor().on_epoch(sim)
+        )
+
+    def test_trace_entry_leak(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.entries_remaining += 1
+        self._expect(
+            "trace-conservation", lambda: InvariantAuditor().on_epoch(sim)
+        )
+
+    def test_epoch_cycle_out_of_bounds(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.network.routers[2].epoch_cycle = sim.epoch_cycles
+        self._expect(
+            "epoch-cycle-bounds", lambda: InvariantAuditor().on_epoch(sim)
+        )
+
+    def test_secure_refcount_underflow(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.network.routers[3].secure_count = -1
+        self._expect(
+            "secure-refcount", lambda: InvariantAuditor().on_epoch(sim)
+        )
+
+    def test_secure_hold_survives_drain(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.network.routers[3].secure_count = 2
+        self._expect(
+            "secure-refcount",
+            lambda: InvariantAuditor().on_end(sim, drained=True),
+        )
+
+    def test_residency_leak(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.network.routers[0].gated_ticks += 7
+        self._expect(
+            "residency-conservation",
+            lambda: InvariantAuditor().on_end(sim, drained=True),
+        )
+
+    def test_accountant_wallclock_leak(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.accountant.gated_time_ns[0] += 5.0
+        self._expect(
+            "residency-conservation",
+            lambda: InvariantAuditor().on_end(sim, drained=True),
+        )
+
+    def test_time_runs_backwards(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        auditor = InvariantAuditor()
+        auditor._last_tick = sim.now_tick + 1
+        self._expect(
+            "monotone-fire-tick", lambda: auditor.on_epoch(sim)
+        )
+
+    def test_stale_firing_in_past(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        sim.network.routers[0].next_event_tick = -1
+        self._expect(
+            "monotone-fire-tick", lambda: InvariantAuditor().on_epoch(sim)
+        )
+
+    def test_false_drain_claim(self, drain_config, tiny_trace):
+        sim = self._drained_sim(drain_config, tiny_trace)
+        # A leftover in-flight arrival is invisible to the packet ledger
+        # but contradicts a drained=True claim.
+        sim.network.routers[0].arrivals.append((0, 0, 0, object()))
+        self._expect(
+            "drain-state",
+            lambda: InvariantAuditor().on_end(sim, drained=True),
+        )
+
+
+class TestArtifacts:
+    def test_failure_writes_replayable_artifact(
+        self, drain_config, tiny_trace, tmp_path
+    ):
+        sim = Simulator(drain_config, tiny_trace, make_policy("dozznoc"))
+        sim.run()
+        sim.network.routers[0].in_buffers[0].occupancy += 3
+        auditor = InvariantAuditor(
+            artifact_dir=tmp_path, context={"suite": "unit"}
+        )
+        with pytest.raises(AuditError) as excinfo:
+            auditor.on_epoch(sim)
+        err = excinfo.value
+        assert err.artifact_path is not None
+        payload = json.loads(json.dumps(err.artifact, default=repr))
+        on_disk = json.loads(
+            (tmp_path / err.artifact_path.rsplit("/", 1)[1]).read_text()
+        )
+        for doc in (payload, on_disk):
+            assert doc["check"] == "flit-conservation"
+            assert doc["policy"] == "dozznoc"
+            assert doc["trace"] == tiny_trace.name
+            assert doc["seed"] == drain_config.seed
+            assert doc["config"]["radix"] == drain_config.radix
+            assert doc["context"] == {"suite": "unit"}
+
+    def test_write_artifact_sanitizes_names(self, tmp_path):
+        path = write_artifact(tmp_path, "weird name/with:stuff", {"x": 1})
+        assert path.parent == tmp_path
+        assert "/" not in path.name and ":" not in path.name
+        assert json.loads(path.read_text()) == {"x": 1}
+
+    def test_audit_error_survives_pickling(self, drain_config, tiny_trace):
+        # Pool workers raise AuditError across process boundaries; the
+        # structured fields must survive the round-trip.
+        import pickle
+
+        sim = Simulator(drain_config, tiny_trace, make_policy("pg"))
+        sim.run()
+        sim.stats.packets_delivered += 1
+        with pytest.raises(AuditError) as excinfo:
+            InvariantAuditor().on_epoch(sim)
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert clone.check == excinfo.value.check
+        assert clone.tick == excinfo.value.tick
+        assert clone.artifact == json.loads(
+            json.dumps(excinfo.value.artifact, default=repr)
+        ) or clone.artifact == excinfo.value.artifact

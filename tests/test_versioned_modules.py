@@ -1,0 +1,89 @@
+"""The run cache's code-version digest must cover the whole kernel.
+
+``repro.exec.cache`` hashes the sources of ``_VERSIONED_MODULES`` into
+every cache key; a module that influences simulation results but is
+missing from that set lets stale cached metrics survive a kernel edit.
+This test statically extracts everything :mod:`repro.noc.simulator`
+imports (transitively, one level deep) and asserts each module is in the
+versioned set.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from pathlib import Path
+
+from repro.exec.cache import _VERSIONED_MODULES, code_version
+
+
+def _is_module(name: str) -> bool:
+    try:
+        return importlib.util.find_spec(name) is not None
+    except ModuleNotFoundError:
+        return False
+
+
+def _module_imports(name: str) -> set[str]:
+    """Top-level ``repro.*`` modules imported by ``name``.
+
+    ``if TYPE_CHECKING:`` blocks are skipped — typing-only imports never
+    execute and cannot change results.  ``from pkg.mod import Thing``
+    resolves to ``pkg.mod`` unless ``Thing`` is itself a module.
+    """
+    spec = importlib.util.find_spec(name)
+    assert spec is not None and spec.origin is not None, name
+    tree = ast.parse(Path(spec.origin).read_text())
+    found: set[str] = set()
+
+    def scan(body) -> None:
+        for node in body:
+            if isinstance(node, ast.If):
+                test = node.test
+                is_type_checking = (
+                    isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+                ) or (
+                    isinstance(test, ast.Attribute)
+                    and test.attr == "TYPE_CHECKING"
+                )
+                if is_type_checking:
+                    continue
+                scan(node.body)
+                scan(node.orelse)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro"):
+                        found.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.startswith("repro"):
+                    for alias in node.names:
+                        child = f"{node.module}.{alias.name}"
+                        found.add(child if _is_module(child) else node.module)
+
+    scan(tree.body)
+    return found
+
+
+def test_simulator_imports_are_all_versioned():
+    level1 = _module_imports("repro.noc.simulator")
+    assert level1, "scan found no imports — the extractor is broken"
+    level2: set[str] = set()
+    for module in sorted(level1):
+        level2 |= _module_imports(module)
+    reachable = {"repro.noc.simulator"} | level1 | level2
+    missing = reachable - set(_VERSIONED_MODULES)
+    assert not missing, (
+        f"modules reachable from the simulator but absent from "
+        f"_VERSIONED_MODULES (cached runs would survive edits to them): "
+        f"{sorted(missing)}"
+    )
+
+
+def test_versioned_modules_all_exist():
+    for name in _VERSIONED_MODULES:
+        assert _is_module(name), f"versioned module {name!r} does not exist"
+
+
+def test_code_version_is_stable_and_nonempty():
+    v = code_version()
+    assert v and v == code_version()
