@@ -167,8 +167,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.validate.invariants import InvariantAuditor
 
         auditor = InvariantAuditor(artifact_dir=args.artifact_dir)
+    faults = None
+    if args.faults:
+        from repro.faults import FaultConfig
+
+        faults = FaultConfig.moderate(seed=args.seed)
     result = run_simulation(config, trace, make_policy(args.policy),
-                            audit=auditor)
+                            audit=auditor, faults=faults)
     for key, value in sorted(result.summary().items()):
         print(f"{key:28s} {value:.6g}")
     print(f"{'drained':28s} {result.drained}")
@@ -250,6 +255,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"run cache: {cache.hits} hit(s), {cache.misses} miss(es) "
             f"[{cache.cache_dir}]"
         )
+    if result.resumed_tasks:
+        print(
+            f"resumed {result.resumed_tasks} task(s) from a previous "
+            "attempt's checkpoint journal"
+        )
     _warn_undrained(result)
     return 0
 
@@ -265,6 +275,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         replay=args.replay,
         progress=(None if args.quiet else
                   (lambda line: print(line, flush=True))),
+        faults=args.faults,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -318,6 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--artifact-dir", default=None,
                        help="where to dump a JSON repro artifact on "
                             "audit failure")
+    p_run.add_argument("--faults", action="store_true",
+                       help="inject the 'moderate' deterministic fault "
+                            "profile (all four fault classes)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser("trace", help="generate / inspect a trace")
@@ -360,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--replay", type=int, default=None, metavar="TRIAL",
                         help="run only this trial index (replay a failure "
                              "artifact's seed/trial pair)")
+    p_fuzz.add_argument("--faults", action="store_true",
+                        help="draw a random fault-injection profile per "
+                             "trial and fuzz the graceful-degradation "
+                             "paths too")
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-trial progress lines")
     p_fuzz.set_defaults(fn=_cmd_fuzz)

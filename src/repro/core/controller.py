@@ -19,6 +19,7 @@ coarse-grain DVFS.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -94,14 +95,27 @@ class PowerPolicy:
         if self.proactive:
             if features is None:
                 raise ValueError("proactive policy needs epoch features")
-            return float(self.weights @ features)
+            # Corrupted (non-finite) features legitimately reach here under
+            # fault injection; the caller handles the NaN product.
+            with np.errstate(invalid="ignore"):
+                return float(self.weights @ features)
         return router.current_ibu()
 
     def select_mode_index(
-        self, router: "Router", features: np.ndarray | None
+        self, router: "Router", features: np.ndarray | None, sim=None
     ) -> int:
-        """Model Select: map the utilization estimate to a mode index."""
+        """Model Select: map the utilization estimate to a mode index.
+
+        A non-finite prediction (corrupted features poison the dot
+        product) falls back to the epoch's *measured* utilization — the
+        reactive threshold policy — instead of steering the VR with
+        garbage.  ``sim`` (optional) receives the fallback count.
+        """
         u = self.predict_utilization(router, features)
+        if not math.isfinite(u):
+            u = router.current_ibu()
+            if sim is not None:
+                sim.stats.predictor_fallbacks += 1
         target = self.adjust_mode(router, mode_index_for_utilization(u))
         if self.allowed_modes is not None and target not in self.allowed_modes:
             target = min(m for m in self.allowed_modes if m >= target)
@@ -123,7 +137,10 @@ class PowerPolicy:
             return
         if router.state is PowerState.ACTIVE and router.switch_stall == 0:
             sim.settle(router)
-            router.begin_switch(mode(target))
+            # The kernel owns the VR interaction: under fault injection
+            # the switch may retry (extra T-Switch stalls) or divert to
+            # max-V/F safe mode before landing.
+            sim.begin_switch(router, target)
         elif router.state is PowerState.INACTIVE:
             # A gated router re-targets for free: it will pay T-Wakeup into
             # the newly predicted mode when it wakes.
@@ -156,7 +173,7 @@ class LeadPolicy(PowerPolicy):
     uses_dvfs = True
 
     def on_epoch(self, router: "Router", sim, features: np.ndarray | None) -> None:
-        self._apply_mode(router, self.select_mode_index(router, features), sim)
+        self._apply_mode(router, self.select_mode_index(router, features, sim), sim)
 
 
 class DozzNocPolicy(PowerPolicy):
@@ -167,7 +184,7 @@ class DozzNocPolicy(PowerPolicy):
     uses_dvfs = True
 
     def on_epoch(self, router: "Router", sim, features: np.ndarray | None) -> None:
-        self._apply_mode(router, self.select_mode_index(router, features), sim)
+        self._apply_mode(router, self.select_mode_index(router, features, sim), sim)
 
 
 class TurboPolicy(DozzNocPolicy):

@@ -13,6 +13,7 @@ provides the two pieces that make paper-scale sweeps fast:
 """
 
 from repro.exec.cache import RunCache, code_version, run_key
+from repro.exec.journal import CampaignJournal
 from repro.exec.pool import (
     SimTask,
     TrainTask,
@@ -28,6 +29,7 @@ from repro.exec.pool import (
 )
 
 __all__ = [
+    "CampaignJournal",
     "RunCache",
     "SimTask",
     "TrainTask",

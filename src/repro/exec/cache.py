@@ -41,8 +41,11 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
 
 #: Bump when the serialized payload layout changes.  v2: ModelMetrics
 #: gained ``drained`` — v1 entries could report a deadlocked (safety-cap)
-#: run as clean, so they must never be trusted again.
-SCHEMA_VERSION = 2
+#: run as clean, so they must never be trusted again.  v3: ModelMetrics
+#: gained the graceful-degradation ledger (forced wakes, retransmitted
+#: flits, safe-mode entries, predictor fallbacks) and run keys gained a
+#: fault-configuration digest.
+SCHEMA_VERSION = 3
 
 #: Modules whose source determines simulation results.  Editing any of
 #: these changes the code-version digest and invalidates cached runs.
@@ -51,12 +54,16 @@ SCHEMA_VERSION = 2
 _VERSIONED_MODULES: tuple[str, ...] = (
     "repro.common.config",
     "repro.common.errors",
+    "repro.common.rng",
     "repro.common.units",
     "repro.core.controller",
     "repro.core.features",
     "repro.core.modes",
     "repro.core.states",
     "repro.core.thresholds",
+    "repro.faults",
+    "repro.faults.config",
+    "repro.faults.scheduler",
     "repro.noc.buffer",
     "repro.noc.network",
     "repro.noc.packet",
@@ -67,6 +74,7 @@ _VERSIONED_MODULES: tuple[str, ...] = (
     "repro.noc.topology",
     "repro.power.accounting",
     "repro.power.dsent",
+    "repro.regulator.reliability",
     "repro.traffic.trace",
 )
 
@@ -113,8 +121,14 @@ def run_key(
     weights: np.ndarray | None,
     feature_names: tuple[str, ...],
     feature_set_name: str,
+    faults: "object | None" = None,
 ) -> str:
-    """The content address of one (policy, trace, config, weights) run."""
+    """The content address of one (policy, trace, config, weights) run.
+
+    ``faults`` is an optional :class:`repro.faults.FaultConfig`; fault
+    injection changes results, so faulted and clean runs of the same
+    task must never share a cache entry.
+    """
     parts = [
         f"schema={SCHEMA_VERSION}",
         f"code={code_version()}",
@@ -123,6 +137,7 @@ def run_key(
         f"config={_config_digest_parts(config)}",
         f"trace={trace_fingerprint(trace)}",
         f"weights={_weights_digest(weights)}",
+        f"faults={'none' if faults is None else faults.fingerprint()}",
     ]
     return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()[:24]
 
@@ -204,7 +219,14 @@ class RunCache:
         return metrics
 
     def put(self, key: str, metrics: ModelMetrics) -> None:
-        """Store one run atomically (temp file + rename)."""
+        """Store one run crash-safely: temp file + fsync + atomic rename.
+
+        A reader never observes a partial entry — either the old state or
+        the complete new file.  The fsync before the rename closes the
+        power-loss window where the rename survives but the data does
+        not; a kill -9 mid-``put`` leaves at worst an orphaned temp file,
+        which readers never look at (entries are addressed by exact name).
+        """
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(_metrics_to_payload(key, metrics))
         fd, tmp = tempfile.mkstemp(
@@ -213,6 +235,8 @@ class RunCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.path_for(key))
         except OSError:  # pragma: no cover - cache write is best-effort
             try:

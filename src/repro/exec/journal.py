@@ -1,0 +1,104 @@
+"""Crash-safe campaign checkpoint journal.
+
+A campaign is a long sequence of independent simulation tasks.  The run
+cache already makes completed work content-addressed and reusable; the
+journal adds an explicit, append-only record of *which* task keys have
+finished, so an interrupted campaign can report precisely how much it
+resumed and a monitoring tool can watch progress without parsing cache
+filenames.
+
+Format: one JSON object per line (JSONL), ``{"key": ..., "cached": ...}``.
+Appends are flushed and fsynced per entry — a ``kill -9`` between tasks
+loses nothing, and one *during* an append loses at most the final,
+truncated line.  :meth:`CampaignJournal.load` therefore tolerates (and
+drops) a malformed tail instead of failing the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of completed campaign task keys.
+
+    Parameters
+    ----------
+    path:
+        Journal file location; parent directories are created on the
+        first append.  An existing file is *resumed*: previously recorded
+        keys are loaded and new entries are appended after them.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._done: set[str] = set()
+        self._fh = None
+        self._torn_tail = False
+        self._load()
+
+    def _load(self) -> None:
+        """Read back prior entries, dropping a torn final line."""
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        # A file not ending in a newline was torn mid-append; the next
+        # append must start on a fresh line or it merges into the tear.
+        self._torn_tail = bool(raw) and not raw.endswith(b"\n")
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+            except (ValueError, KeyError, TypeError):
+                # A torn or corrupted line (interrupted append): the task
+                # it would have recorded simply re-runs — never trusted.
+                continue
+            if isinstance(key, str):
+                self._done.add(key)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def mark(self, key: str, cached: bool = False) -> None:
+        """Record one completed task, durably, as soon as it finishes."""
+        if key in self._done:
+            return
+        self._done.add(key)
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if self._torn_tail:
+                self._fh.write("\n")
+                self._torn_tail = False
+        self._fh.write(json.dumps({"key": key, "cached": cached}) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def done(self, key: str) -> bool:
+        """Whether ``key`` completed in this or a previous attempt."""
+        return key in self._done
+
+    def __contains__(self, key: str) -> bool:
+        return self.done(key)
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def close(self) -> None:
+        """Release the append handle (safe to call repeatedly)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -8,8 +8,11 @@ others.  This module fans those tasks over a
 * ``jobs=1`` (the default) never spawns a pool — everything runs inline,
 * ``jobs<=0`` means "one worker per CPU",
 * tasks that cannot be pickled (ad-hoc feature sets built from closures,
-  monkeypatched configs, …) silently fall back to the serial path, as does
-  a pool that dies mid-flight — correctness never depends on the pool.
+  monkeypatched configs, …) fall back to the serial path,
+* every task is its own future: a worker crash loses one task, completed
+  results are salvaged, stranded tasks are retried in a fresh pool and
+  finally inline (with a warning naming the counts) — correctness never
+  depends on the pool.
 
 Workers receive task *descriptions* (policy name, trace arrays, config,
 weight vector) and rebuild policies locally, so results are bit-identical
@@ -26,7 +29,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
@@ -34,9 +39,12 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from repro.common.config import SimConfig
+from repro.common.errors import PoolTimeoutError
 from repro.core.controller import make_policy
 from repro.core.features import FULL_FEATURES, REDUCED_FEATURES, FeatureSet
 from repro.exec.cache import RunCache, run_key
+from repro.exec.journal import CampaignJournal
+from repro.faults import FaultConfig
 from repro.ml.training import (
     DEFAULT_LAMBDAS,
     TrainingResult,
@@ -104,12 +112,16 @@ class SimTask:
     feature_set: str | FeatureSet = REDUCED_FEATURES.name
     audit: bool = False
     artifact_dir: str | None = None
+    #: Optional deterministic fault injection (changes results, so it is
+    #: part of the cache key).
+    faults: FaultConfig | None = None
 
     def cache_key(self) -> str:
         """Content address of this task's result."""
         fs = resolve_feature_set(self.feature_set)
         return run_key(
-            self.policy, self.trace, self.sim, self.weights, fs.names, fs.name
+            self.policy, self.trace, self.sim, self.weights, fs.names,
+            fs.name, faults=self.faults,
         )
 
 
@@ -139,7 +151,9 @@ def execute_sim_task(task: SimTask) -> "ModelMetrics":
         from repro.validate.invariants import InvariantAuditor
 
         audit = InvariantAuditor(artifact_dir=task.artifact_dir)
-    result = run_simulation(task.sim, task.trace, policy, audit=audit)
+    result = run_simulation(
+        task.sim, task.trace, policy, audit=audit, faults=task.faults
+    )
     return ModelMetrics.from_result(result)
 
 
@@ -189,40 +203,127 @@ def _picklable(obj: object) -> bool:
         return False
 
 
+#: Distinguishes "not computed yet" from a legitimate ``None`` result.
+_UNSET = object()
+
+
 def map_tasks(
-    fn: Callable[[T], R], tasks: Iterable[T], jobs: int | None = 1
+    fn: Callable[[T], R],
+    tasks: Iterable[T],
+    jobs: int | None = 1,
+    on_result: Callable[[int, R], None] | None = None,
+    timeout: float | None = None,
+    pool_retries: int = 2,
 ) -> list[R]:
     """Apply ``fn`` to every task, preserving order.
 
     Fans out over a process pool when ``jobs`` allows and the tasks are
-    picklable; otherwise (or if the pool breaks) runs serially.  The
-    serial and parallel paths execute identical per-task code, so results
-    are the same either way.
+    picklable; otherwise runs serially.  The serial and parallel paths
+    execute identical per-task code, so results are the same either way.
+
+    Robustness contract:
+
+    * Every task is submitted as its **own future**, so one crashing
+      worker loses one task, not the batch.  Results that completed
+      before a pool breakage are *salvaged*, never recomputed.
+    * Tasks stranded by a broken pool are retried in a fresh pool (up to
+      ``pool_retries`` rounds) and finally inline; a ``RuntimeWarning``
+      names the salvaged / retried / inline counts so silent degradation
+      is impossible.
+    * ``on_result(index, result)`` fires the moment each task finishes
+      (in submission order), letting callers checkpoint incrementally.
+    * ``timeout`` bounds each task's wall-clock wait.  Timed-out tasks
+      raise :class:`repro.common.errors.PoolTimeoutError` — they are
+      deliberately **not** re-run inline, where the same hang would
+      block the caller forever.  Everything already finished has been
+      delivered through ``on_result`` first.
     """
     tasks = list(tasks)
     if not tasks:
         return []
     jobs = effective_jobs(jobs, len(tasks))
+    results: list = [_UNSET] * len(tasks)
+
+    def _finish(i: int, value) -> None:
+        results[i] = value
+        if on_result is not None:
+            on_result(i, value)
+
     if jobs == 1 or not _picklable((fn, tasks)):
-        return [fn(t) for t in tasks]
-    try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(fn, tasks))
-    except (BrokenProcessPool, pickle.PicklingError, OSError):
-        # A dead or unusable pool is a performance problem, not a
-        # correctness one: redo the work inline.
-        return [fn(t) for t in tasks]
+        for i, task in enumerate(tasks):
+            _finish(i, fn(task))
+        return results
+
+    remaining = list(range(len(tasks)))
+    timed_out: list[int] = []
+    salvaged = -1  # results already done when the first breakage hit
+    retried: set[int] = set()
+    rounds = 0
+    while remaining and rounds <= pool_retries:
+        if rounds:
+            retried.update(remaining)
+        rounds += 1
+        round_timeouts = 0
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(remaining)))
+        try:
+            futures = [(i, pool.submit(fn, tasks[i])) for i in remaining]
+            for i, fut in futures:
+                try:
+                    _finish(i, fut.result(timeout=timeout))
+                except FuturesTimeout:
+                    fut.cancel()
+                    timed_out.append(i)
+                    round_timeouts += 1
+                except BrokenProcessPool:
+                    pass  # stays in `remaining` for the next round
+        except (BrokenProcessPool, pickle.PicklingError, OSError):
+            pass  # submission-side breakage: unfinished tasks retry
+        finally:
+            # A hung worker would block a waiting shutdown forever; when
+            # anything timed out, abandon the pool instead of joining it.
+            pool.shutdown(wait=round_timeouts == 0, cancel_futures=True)
+        remaining = [
+            i for i in remaining
+            if results[i] is _UNSET and i not in timed_out
+        ]
+        if remaining and salvaged < 0:
+            salvaged = len(tasks) - len(remaining) - len(timed_out)
+
+    if timed_out:
+        raise PoolTimeoutError(sorted(timed_out), timeout)
+    inline = len(remaining)
+    for i in remaining:
+        _finish(i, fn(tasks[i]))
+    if retried or inline:
+        recovered = f"re-ran {len(retried)} task(s) in a fresh pool"
+        if inline:
+            recovered += f", {inline} inline"
+        warnings.warn(
+            f"process pool broke during fan-out: salvaged "
+            f"{max(salvaged, 0)} completed result(s), {recovered}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return results
 
 
 def run_sim_tasks(
     tasks: Sequence[SimTask],
     jobs: int | None = 1,
     cache: RunCache | None = None,
+    journal: CampaignJournal | None = None,
+    timeout: float | None = None,
 ) -> list[ModelMetrics]:
     """Run simulations through the cache, fanning misses over the pool.
 
     Cache hits are returned without simulating; only the misses are
     dispatched.  Results come back in task order regardless of ``jobs``.
+
+    Each miss is cached and journalled **the moment it completes** — not
+    after the whole batch — so an interrupted campaign loses at most the
+    in-flight tasks and resumes from the cache on the next attempt.
+    ``timeout`` bounds each task's wall-clock time (see
+    :func:`map_tasks`).
     """
     tasks = list(tasks)
     results: list[ModelMetrics | None] = [None] * len(tasks)
@@ -234,14 +335,27 @@ def run_sim_tasks(
             hit = cache.get(key)
             if hit is not None:
                 results[i] = hit
+                if journal is not None:
+                    journal.mark(key, cached=True)
                 continue
         pending.append((i, task, key))
 
-    fresh = map_tasks(execute_sim_task, [t for _, t, _ in pending], jobs)
-    for (i, _, key), metrics in zip(pending, fresh):
+    def _checkpoint(j: int, metrics: "ModelMetrics") -> None:
+        i, _, key = pending[j]
         results[i] = metrics
-        if cache is not None and key is not None:
-            cache.put(key, metrics)
+        if key is not None:
+            if cache is not None:
+                cache.put(key, metrics)
+            if journal is not None:
+                journal.mark(key, cached=False)
+
+    map_tasks(
+        execute_sim_task,
+        [t for _, t, _ in pending],
+        jobs,
+        on_result=_checkpoint,
+        timeout=timeout,
+    )
     assert all(m is not None for m in results)
     return results  # type: ignore[return-value]
 

@@ -29,6 +29,7 @@ import numpy as np
 from repro.common.config import SimConfig
 from repro.core.features import REDUCED_FEATURES, FeatureSet
 from repro.exec.cache import RunCache
+from repro.exec.journal import CampaignJournal
 from repro.exec.pool import (
     SimTask,
     TrainTask,
@@ -42,6 +43,7 @@ from repro.experiments.runner import (
     NormalizedMetrics,
     normalize_to_baseline,
 )
+from repro.faults import FaultConfig
 from repro.ml.training import DEFAULT_LAMBDAS
 from repro.traffic.suite import TraceSuite, build_suite
 
@@ -70,6 +72,14 @@ class CampaignConfig:
     #: Attach invariant auditors (repro.validate) to every evaluation run;
     #: audits raise AuditError on violation and never change results.
     audit: bool = False
+    #: Deterministic fault injection applied to every evaluation run
+    #: (trains on clean runs; see docs/faults.md).  Changes results, so
+    #: it is part of every run's cache key.
+    faults: FaultConfig | None = None
+    #: Per-task wall-clock budget in seconds (None = unbounded).  A task
+    #: overrunning it raises PoolTimeoutError instead of hanging the
+    #: campaign; completed work is already checkpointed.
+    task_timeout: float | None = None
 
 
 @dataclass
@@ -80,6 +90,10 @@ class CampaignResult:
     metrics: dict[str, dict[str, ModelMetrics]]  # trace -> model -> metrics
     normalized: dict[str, dict[str, NormalizedMetrics]]
     weights: dict[str, np.ndarray]  # ML model -> trained weight vector
+    #: Evaluation tasks already completed by a previous (interrupted)
+    #: attempt, recovered from the checkpoint journal without
+    #: re-simulating (0 for a fresh or journal-less campaign).
+    resumed_tasks: int = 0
 
     def average_normalized(self, model: str) -> NormalizedMetrics:
         """Mean normalized metrics for ``model`` across test traces."""
@@ -174,6 +188,17 @@ def campaign_run_cache(campaign: CampaignConfig) -> RunCache | None:
     return RunCache(Path(campaign.cache_dir) / "runs")
 
 
+def campaign_journal(campaign: CampaignConfig) -> CampaignJournal | None:
+    """The checkpoint journal a campaign's config implies.
+
+    Lives next to the run cache; re-opening the same ``cache_dir`` after
+    an interrupted campaign resumes from it.
+    """
+    if campaign.cache_dir is None:
+        return None
+    return CampaignJournal(Path(campaign.cache_dir) / "journal.jsonl")
+
+
 def run_campaign(
     campaign: CampaignConfig,
     jobs: int | None = None,
@@ -188,6 +213,7 @@ def run_campaign(
     jobs = campaign.jobs if jobs is None else jobs
     if cache is None:
         cache = campaign_run_cache(campaign)
+    journal = campaign_journal(campaign)
     suite = build_suite(
         num_cores=campaign.sim.num_cores,
         duration_ns=campaign.duration_ns,
@@ -205,11 +231,27 @@ def run_campaign(
             weights=weights.get(model),
             feature_set=spec,
             audit=campaign.audit,
+            faults=campaign.faults,
         )
         for trace in suite.test
         for model in campaign.models
     ]
-    results = iter(run_sim_tasks(tasks, jobs=jobs, cache=cache))
+    resumed = 0
+    if journal is not None and len(journal):
+        resumed = sum(1 for t in tasks if journal.done(t.cache_key()))
+    try:
+        results = iter(
+            run_sim_tasks(
+                tasks,
+                jobs=jobs,
+                cache=cache,
+                journal=journal,
+                timeout=campaign.task_timeout,
+            )
+        )
+    finally:
+        if journal is not None:
+            journal.close()
 
     metrics: dict[str, dict[str, ModelMetrics]] = {}
     normalized: dict[str, dict[str, NormalizedMetrics]] = {}
@@ -223,5 +265,9 @@ def run_campaign(
             if m != "baseline"
         }
     return CampaignResult(
-        config=campaign, metrics=metrics, normalized=normalized, weights=weights
+        config=campaign,
+        metrics=metrics,
+        normalized=normalized,
+        weights=weights,
+        resumed_tasks=resumed,
     )

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the NoC and its power management.
+
+DozzNoC's headline mechanisms — Power Punch-style power-gating wakeups and
+ns-range SIMO+LDO mode switches — are exactly the operations that slip or
+fail in real silicon.  This package injects those failures *and* pairs
+each class with a graceful-degradation mechanism in the kernel, so the
+reproduction can be audited while degraded instead of silently assuming
+perfect hardware:
+
+==============================  =======================================
+fault class                     degradation mechanism
+==============================  =======================================
+slow / stuck wakeups            watchdog force-wake, exponential backoff
+VR mode-switch aborts           retry, then max-V/F safe-mode fallback
+transient link errors           bounded retransmission + energy ledger
+corrupted / NaN feature vector  per-epoch fallback to threshold policy
+==============================  =======================================
+
+Everything is seeded and bit-reproducible: the same
+(:class:`FaultConfig`, sim config, trace, policy) tuple yields the same
+fault schedule in serial, pooled, and cached replays, and the fault
+config is content-addressed into the run-cache key.  See
+``docs/faults.md``.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.scheduler import FaultScheduler
+
+__all__ = ["FaultConfig", "FaultScheduler"]

@@ -1,0 +1,163 @@
+"""Fault-injection configuration.
+
+:class:`FaultConfig` is the single immutable knob block for the four
+paper-grounded fault classes injected by
+:class:`~repro.faults.scheduler.FaultScheduler`:
+
+1. **power-gating wakeup faults** — a Power Punch-style wakeup (T-Wakeup,
+   worst case 8.8 ns) completes late by an integer multiplier, or — for
+   routers drawn as *permanently stuck* — never completes on its own and
+   must be rescued by the kernel watchdog,
+2. **VR mode-switch failures** — a SIMO+LDO active<->active transition
+   (T-Switch, worst case 6.9 ns) aborts; after bounded retries the domain
+   falls back to the max-V/F safe mode,
+3. **transient link errors** — one packet transfer corrupts in flight and
+   must be retransmitted (bounded retries, then forced success),
+4. **feature corruption** — an epoch's feature vector reaches the ridge
+   predictor with a non-finite entry.
+
+The config is a frozen dataclass of primitives, so it pickles across the
+process pool and serializes into the run cache's content address
+(:meth:`fingerprint`).  ``FaultConfig(seed=s)`` with every rate at zero is
+*inert*: a run with an inert scheduler is bit-identical to a run with no
+scheduler at all (property-tested in ``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Immutable knobs for one deterministic fault schedule.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the scheduler's own RNG streams (one independent stream
+        per fault class, derived via :func:`repro.common.rng.stable_seed`).
+        Independent of the simulation seed so the same fault schedule can
+        be replayed against different traffic.
+    wake_slow_rate:
+        Probability that one wakeup completes late.
+    wake_slow_multiplier:
+        T-Wakeup multiplier applied to a slowed wakeup (>= 2).
+    wake_stuck_rate:
+        Probability that a router is *permanently stuck*: every wakeup it
+        attempts hangs until the watchdog force-wakes it.
+    wake_stuck_routers:
+        Explicit router ids to mark stuck (unioned with the drawn set;
+        ids beyond the topology are ignored).
+    watchdog_timeout_cycles:
+        Wakeup cycles a stuck handshake may hang before the kernel
+        watchdog force-wakes the router.  Doubles on each consecutive
+        failure of the same router (exponential backoff), capped at
+        ``timeout << watchdog_backoff_limit``.
+    watchdog_backoff_limit:
+        Maximum number of timeout doublings.
+    vr_fail_rate:
+        Probability that one VR mode-switch attempt aborts.
+    vr_max_retries:
+        Switch retries before falling back to the max-V/F safe mode.
+    link_error_rate:
+        Probability that one packet transfer over a router link corrupts
+        and is retransmitted.
+    link_max_retries:
+        Failed transfers tolerated per packet hop; the next attempt is
+        forced to succeed, bounding retransmission delay.
+    feature_corrupt_rate:
+        Probability that one epoch's extracted feature vector is corrupted
+        with a non-finite entry before reaching the predictor.
+    """
+
+    seed: int = 0
+    wake_slow_rate: float = 0.0
+    wake_slow_multiplier: int = 4
+    wake_stuck_rate: float = 0.0
+    wake_stuck_routers: tuple[int, ...] = ()
+    watchdog_timeout_cycles: int = 64
+    watchdog_backoff_limit: int = 4
+    vr_fail_rate: float = 0.0
+    vr_max_retries: int = 1
+    link_error_rate: float = 0.0
+    link_max_retries: int = 3
+    feature_corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "wake_slow_rate",
+            "wake_stuck_rate",
+            "vr_fail_rate",
+            "link_error_rate",
+            "feature_corrupt_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.wake_slow_multiplier < 2:
+            raise ConfigError(
+                f"wake_slow_multiplier must be >= 2, got "
+                f"{self.wake_slow_multiplier}"
+            )
+        if self.watchdog_timeout_cycles < 1:
+            raise ConfigError(
+                f"watchdog_timeout_cycles must be >= 1, got "
+                f"{self.watchdog_timeout_cycles}"
+            )
+        if self.watchdog_backoff_limit < 0:
+            raise ConfigError(
+                f"watchdog_backoff_limit must be >= 0, got "
+                f"{self.watchdog_backoff_limit}"
+            )
+        if self.vr_max_retries < 0:
+            raise ConfigError(
+                f"vr_max_retries must be >= 0, got {self.vr_max_retries}"
+            )
+        if self.link_max_retries < 1:
+            raise ConfigError(
+                f"link_max_retries must be >= 1, got {self.link_max_retries}"
+            )
+        if any(r < 0 for r in self.wake_stuck_routers):
+            raise ConfigError("wake_stuck_routers ids must be >= 0")
+        object.__setattr__(
+            self,
+            "wake_stuck_routers",
+            tuple(sorted(set(self.wake_stuck_routers))),
+        )
+
+    @property
+    def any_active(self) -> bool:
+        """Whether this config can inject at least one fault."""
+        return bool(
+            self.wake_slow_rate
+            or self.wake_stuck_rate
+            or self.wake_stuck_routers
+            or self.vr_fail_rate
+            or self.link_error_rate
+            or self.feature_corrupt_rate
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content digest, folded into the run-cache key."""
+        payload = json.dumps(
+            dataclasses.asdict(self), sort_keys=True, default=repr
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @classmethod
+    def moderate(cls, seed: int = 0) -> "FaultConfig":
+        """A demo profile exercising all four fault classes at once."""
+        return cls(
+            seed=seed,
+            wake_slow_rate=0.05,
+            wake_stuck_rate=0.03,
+            vr_fail_rate=0.05,
+            link_error_rate=0.01,
+            feature_corrupt_rate=0.02,
+        )

@@ -1,0 +1,192 @@
+"""Seeded, fully deterministic fault scheduling.
+
+A :class:`FaultScheduler` owns one independent RNG stream per fault class
+(derived from ``FaultConfig.seed`` via
+:func:`repro.common.rng.stable_seed`), so enabling or re-tuning one class
+never perturbs another class's schedule.  The simulation kernel consults
+it at exactly four points:
+
+* :meth:`wakeup_outcome` — when a gated router begins waking,
+* :meth:`vr_switch_fails` — per VR mode-switch attempt,
+* :meth:`link_transfer_fails` — per granted packet transfer on a
+  router->router link,
+* :meth:`maybe_corrupt_features` — per extracted epoch feature vector.
+
+Because the kernel itself is deterministic, the sequence of consultations
+— and therefore the whole fault schedule — is a pure function of
+``(FaultConfig, SimConfig, trace, policy)``: serial, pooled, and cached
+replays of the same run observe bit-identical faults.
+
+The scheduler also keeps *order-side counters* (faults it told the kernel
+to inject).  The kernel keeps independent *execution-side counters*; the
+:class:`~repro.validate.invariants.InvariantAuditor` cross-checks the two
+ledgers at end-of-run (forced-wake refcounts, retransmitted flits, VR
+aborts, corrupted features), so a lost or double-applied fault is caught
+like any other conservation violation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng, stable_seed
+from repro.faults.config import FaultConfig
+
+#: Namespace label so fault streams never collide with trace generators.
+_STREAM_NAMESPACE = "dozznoc-faults"
+
+
+class FaultScheduler:
+    """Deterministic fault oracle for one simulation run.
+
+    Build a fresh scheduler per run (its RNG streams and counters are
+    stateful); :class:`~repro.noc.simulator.Simulator` does this
+    automatically when handed a :class:`FaultConfig`.
+
+    Parameters
+    ----------
+    config:
+        The fault knobs; see :class:`FaultConfig`.
+    num_routers:
+        Topology size, used to materialize the stuck-router set.
+    """
+
+    def __init__(self, config: FaultConfig, num_routers: int) -> None:
+        self.config = config
+        self._rng_wake = self._stream("wakeup")
+        self._rng_vr = self._stream("vr-switch")
+        self._rng_link = self._stream("link")
+        self._rng_feat = self._stream("features")
+
+        stuck = {r for r in config.wake_stuck_routers if r < num_routers}
+        if config.wake_stuck_rate > 0.0:
+            draws = self._stream("stuck-routers").random(num_routers)
+            stuck |= {
+                rid
+                for rid in range(num_routers)
+                if draws[rid] < config.wake_stuck_rate
+            }
+        self.stuck_routers = frozenset(stuck)
+
+        # Order-side ledger (what the scheduler told the kernel to do).
+        self.wakeups_slowed = 0
+        self.wakeups_stuck = 0
+        self.vr_aborts = 0
+        self.vr_safe_modes = 0
+        self.link_faults = 0
+        self.retx_flits = 0
+        self.features_corrupted = 0
+
+    def _stream(self, name: str) -> np.random.Generator:
+        return make_rng(stable_seed(_STREAM_NAMESPACE, self.config.seed, name))
+
+    # ------------------------------------------------------------------ #
+    # Class 1: power-gating wakeups
+    # ------------------------------------------------------------------ #
+
+    def wakeup_outcome(self, rid: int) -> tuple[bool, int]:
+        """Fate of one wakeup: ``(stuck, t_wakeup_multiplier)``.
+
+        A stuck outcome means the handshake never completes on its own;
+        the kernel watchdog must force-wake the router.  A multiplier
+        ``m > 1`` stretches T-Wakeup by ``m`` (slow rail charge).
+        """
+        if rid in self.stuck_routers:
+            self.wakeups_stuck += 1
+            return True, 1
+        cfg = self.config
+        if cfg.wake_slow_rate > 0.0 and (
+            self._rng_wake.random() < cfg.wake_slow_rate
+        ):
+            self.wakeups_slowed += 1
+            return False, cfg.wake_slow_multiplier
+        return False, 1
+
+    def watchdog_deadline(self, fail_count: int) -> int:
+        """Watchdog budget (wakeup cycles) given consecutive failures.
+
+        Exponential backoff: each consecutive watchdog rescue of the same
+        router doubles the timeout, capped at
+        ``timeout << watchdog_backoff_limit`` — a flapping stuck router is
+        rescued ever more patiently instead of thrashing wake energy.
+        """
+        cfg = self.config
+        backoff = min(fail_count, cfg.watchdog_backoff_limit)
+        return cfg.watchdog_timeout_cycles << backoff
+
+    # ------------------------------------------------------------------ #
+    # Class 2: VR mode switches
+    # ------------------------------------------------------------------ #
+
+    def vr_switch_fails(self) -> bool:
+        """Whether one VR transition attempt aborts."""
+        if self.config.vr_fail_rate <= 0.0:
+            return False
+        if self._rng_vr.random() < self.config.vr_fail_rate:
+            self.vr_aborts += 1
+            return True
+        return False
+
+    def note_safe_mode(self) -> None:
+        """Record that retries were exhausted and safe mode was entered."""
+        self.vr_safe_modes += 1
+
+    # ------------------------------------------------------------------ #
+    # Class 3: transient link errors
+    # ------------------------------------------------------------------ #
+
+    def link_transfer_fails(self, retries: int, flits: int) -> bool:
+        """Whether one granted packet transfer corrupts in flight.
+
+        ``retries`` is the packet's failure count so far at this hop; once
+        it reaches ``link_max_retries`` the transfer is forced to succeed,
+        bounding the delay every packet can suffer per hop.
+        """
+        cfg = self.config
+        if retries >= cfg.link_max_retries:
+            return False
+        if self._rng_link.random() < cfg.link_error_rate:
+            self.link_faults += 1
+            self.retx_flits += flits
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Class 4: feature corruption
+    # ------------------------------------------------------------------ #
+
+    def maybe_corrupt_features(
+        self, features: np.ndarray
+    ) -> np.ndarray | None:
+        """Corrupt one epoch's feature vector, or ``None`` to leave it.
+
+        Corruption plants a single non-finite entry (NaN or +inf) at a
+        drawn position — exactly the failure a flaky counter or a torn
+        fixed-point read produces, and guaranteed to surface as a
+        non-finite prediction downstream (``0 * nan`` and ``0 * inf`` are
+        both NaN, so no weight vector can mask it).
+        """
+        rng = self._rng_feat
+        if rng.random() >= self.config.feature_corrupt_rate:
+            return None
+        self.features_corrupted += 1
+        corrupted = np.array(features, dtype=float, copy=True)
+        pos = int(rng.integers(0, len(corrupted)))
+        corrupted[pos] = float("nan") if rng.random() < 0.5 else float("inf")
+        return corrupted
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def counters(self) -> dict[str, int]:
+        """The order-side ledger (audited against kernel counters)."""
+        return {
+            "wakeups_slowed": self.wakeups_slowed,
+            "wakeups_stuck": self.wakeups_stuck,
+            "vr_aborts": self.vr_aborts,
+            "vr_safe_modes": self.vr_safe_modes,
+            "link_faults": self.link_faults,
+            "retx_flits": self.retx_flits,
+            "features_corrupted": self.features_corrupted,
+        }

@@ -1,0 +1,62 @@
+"""Degraded VR transition costs (the regulator side of fault injection).
+
+Section III.C's SIMO+LDO chain makes mode switches cheap (worst-case
+T-Switch 6.9 ns) precisely because each power domain hand-offs between
+pre-regulated rails.  When a hand-off *aborts* — comparator glitch, rail
+droop, load transient — the LDO must recover the source voltage before the
+switch can be retried, so the abort costs a full switch window at the
+attempted target mode.  After bounded retries the safe play is to jump to
+the highest V/F point (mode 7): every rail can sustain it, and
+over-provisioning voltage is always functionally safe (the same reasoning
+behind the threshold table's saturation fallback).
+
+This module centralizes those costs so the simulation kernel and the
+behavioural regulator models agree:
+
+* :func:`abort_stall_cycles` — stall cycles one aborted attempt burns,
+* :data:`SAFE_MODE_INDEX` — the fallback operating point (mode 7),
+* :func:`derived_abort_costs` — the same numbers re-derived from the
+  behavioural LDO latency matrix (Table II), for cross-checking.
+"""
+
+from __future__ import annotations
+
+from repro.core.modes import MAX_MODE, MODE_BY_INDEX, Mode
+
+#: The degraded-operation fallback: the max-V/F point every rail sustains.
+SAFE_MODE_INDEX: int = MAX_MODE
+
+
+def safe_mode() -> Mode:
+    """The safe-mode operating point (mode 7, 1.2 V / 2.25 GHz)."""
+    return MODE_BY_INDEX[SAFE_MODE_INDEX]
+
+
+def abort_stall_cycles(target: Mode) -> int:
+    """Stall cycles one aborted switch attempt toward ``target`` burns.
+
+    The abort is detected at the end of the transition window, so the
+    domain stalls the full T-Switch of the attempted mode before it can
+    retry (or fall back) — the worst case the paper's Table III charges a
+    *successful* switch.
+    """
+    return target.t_switch_cycles
+
+
+def derived_abort_costs(ldo=None) -> dict[int, int]:
+    """Re-derive per-mode abort costs from the behavioural LDO model.
+
+    Returns ``{mode_index: stall_cycles}`` computed from the measured
+    latency matrix the way :func:`repro.regulator.latency
+    .derive_cycle_costs` converts Table II into Table III.  Used by tests
+    to confirm the published constants the kernel charges are recoverable
+    from the waveform model (within the same one-or-two-cycle rounding
+    slack as Table III itself).
+    """
+    # Imported lazily: the latency matrix synthesizes waveforms and is
+    # never needed on the simulation hot path.
+    from repro.regulator.latency import derive_cycle_costs
+
+    return {
+        cost.mode.index: cost.t_switch_cycles for cost in derive_cycle_costs(ldo=ldo)
+    }

@@ -37,6 +37,7 @@ from repro.core.features import REDUCED_FEATURES
 from repro.exec.cache import RunCache
 from repro.exec.pool import SimTask, run_sim_tasks
 from repro.experiments.runner import MODEL_NAMES, ModelMetrics
+from repro.faults import FaultConfig
 from repro.noc.simulator import Simulator
 from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace
 from repro.validate.invariants import InvariantAuditor, write_artifact
@@ -55,6 +56,8 @@ class FuzzTrial:
     config: SimConfig
     trace: Trace
     weights: np.ndarray | None  # shared by the ML policies when not None
+    #: Deterministic fault injection for every leg (``--faults`` mode).
+    faults: FaultConfig | None = None
 
     def weights_for(self, policy: str) -> np.ndarray | None:
         return self.weights if policy in ML_POLICIES else None
@@ -100,8 +103,16 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def build_trial(master_seed: int, index: int) -> FuzzTrial:
-    """Draw trial ``index``'s configuration and trace, deterministically."""
+def build_trial(
+    master_seed: int, index: int, faults: bool = False
+) -> FuzzTrial:
+    """Draw trial ``index``'s configuration and trace, deterministically.
+
+    ``faults`` additionally draws a random :class:`FaultConfig` applied
+    to every leg of the trial.  The fault draws happen *after* all other
+    draws, so ``faults=False`` trials are bit-identical to the historical
+    schedule for the same ``(master_seed, index)``.
+    """
     rng = np.random.default_rng((master_seed, index))
     if rng.random() < 0.25:
         topology, radix, concentration = "cmesh", 2, 4
@@ -145,12 +156,28 @@ def build_trial(master_seed: int, index: int) -> FuzzTrial:
     if rng.random() < 0.5:
         weights = rng.normal(0.0, 0.4, size=len(REDUCED_FEATURES))
         weights[0] = abs(weights[0])  # bias toward plausible utilizations
+    fault_config = None
+    if faults:
+        fault_config = FaultConfig(
+            seed=index,
+            wake_slow_rate=float(rng.uniform(0.0, 0.15)),
+            wake_slow_multiplier=int(rng.integers(2, 6)),
+            wake_stuck_rate=float(rng.uniform(0.0, 0.08)),
+            watchdog_timeout_cycles=int(rng.integers(8, 128)),
+            watchdog_backoff_limit=int(rng.integers(0, 5)),
+            vr_fail_rate=float(rng.uniform(0.0, 0.2)),
+            vr_max_retries=int(rng.integers(0, 4)),
+            link_error_rate=float(rng.uniform(0.0, 0.05)),
+            link_max_retries=int(rng.integers(1, 5)),
+            feature_corrupt_rate=float(rng.uniform(0.0, 0.1)),
+        )
     return FuzzTrial(
         index=index,
         master_seed=master_seed,
         config=config,
         trace=trace,
         weights=weights,
+        faults=fault_config,
     )
 
 
@@ -171,6 +198,7 @@ def run_fuzz(
     artifact_dir: str | Path | None = None,
     replay: int | None = None,
     progress: Callable[[str], None] | None = None,
+    faults: bool = False,
 ) -> FuzzReport:
     """Run a fuzz session and return its report.
 
@@ -190,6 +218,10 @@ def run_fuzz(
         Run only this trial index (for replaying a failure artifact).
     progress:
         Optional sink for per-trial progress lines.
+    faults:
+        Draw a random :class:`FaultConfig` per trial and inject it into
+        every leg — the differential then also proves the graceful
+        degradation paths are deterministic and cache-safe.
     """
     report = FuzzReport(master_seed=seed, trials_run=0, runs=0, epoch_audits=0)
     indices = [replay] if replay is not None else list(range(trials))
@@ -198,7 +230,7 @@ def run_fuzz(
     with tempfile.TemporaryDirectory(prefix="fuzz-runcache-") as tmp:
         cache = RunCache(Path(tmp))
         for index in indices:
-            trial = build_trial(seed, index)
+            trial = build_trial(seed, index, faults=faults)
             report.trials_run += 1
             ok_serial = _serial_leg(trial, report, artifact_dir)
             if ok_serial:
@@ -247,7 +279,8 @@ def _serial_leg(
         report.runs += 1
         try:
             result = Simulator(
-                trial.config, trial.trace, policy, audit=auditor
+                trial.config, trial.trace, policy, audit=auditor,
+                faults=trial.faults,
             ).run()
         except AuditError as err:
             report.failures.append(
@@ -267,6 +300,7 @@ def _serial_leg(
             sim=trial.config,
             weights=weights,
             audit=True,
+            faults=trial.faults,
         )
         ok[policy_name] = (task, ModelMetrics.from_result(result))
     return ok
@@ -293,6 +327,10 @@ def _record_mismatch(
             "fuzz_master_seed": trial.master_seed,
             "fuzz_trial": trial.index,
             "config": dataclasses.asdict(trial.config),
+            "faults": (
+                None if trial.faults is None
+                else dataclasses.asdict(trial.faults)
+            ),
             "expected": dataclasses.asdict(expected),
             "got": dataclasses.asdict(got),
             "replay": (

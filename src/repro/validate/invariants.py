@@ -14,7 +14,17 @@ principles at every epoch boundary and at end-of-run and raises
 * **flit conservation** — each input FIFO's ``occupancy`` counter equals
   the flits actually queued, and reservations never exceed capacity,
 * **secure-refcount balance** — look-ahead holds are released exactly as
-  often as they are placed (all zero once the network drains),
+  often as they are placed: the kernel's global placed/released ledger
+  matches the per-router refcount sum at every audit and is symmetric
+  (placed == released) once the network drains,
+* **fault accounting** — without fault injection every degradation
+  counter is exactly zero; with it, the scheduler's order-side ledger
+  (faults drawn) matches the execution-side ledger (degradations
+  observed): link faults equal retransmissions equal the energy
+  accountant's retransmit flits, every stuck wakeup is either rescued by
+  the watchdog or still pending, VR aborts/safe-modes and corrupted
+  features agree, and a proactive DVFS policy falls back to the
+  threshold rule exactly once per corrupted feature vector,
 * **residency conservation** — after the end-of-run flush, every router's
   gated + per-mode tick residency tiles the run exactly, and the energy
   accountant's wall-clock view agrees,
@@ -110,6 +120,7 @@ class InvariantAuditor:
         self._check_buffers(sim)
         self._check_epoch_bounds(sim)
         self._check_secure_counts(sim, require_zero=False)
+        self._check_fault_accounting(sim)
 
     def on_end(self, sim: "Simulator", drained: bool) -> None:
         """Audit end-of-run state (after the residency flush)."""
@@ -119,6 +130,7 @@ class InvariantAuditor:
         self._check_buffers(sim)
         self._check_epoch_bounds(sim)
         self._check_secure_counts(sim, require_zero=drained)
+        self._check_fault_accounting(sim)
         self._check_residency(sim)
         if drained:
             self._check_drained(sim)
@@ -227,6 +239,7 @@ class InvariantAuditor:
     def _check_secure_counts(
         self, sim: "Simulator", require_zero: bool
     ) -> None:
+        held = 0
         for r in sim.network.routers:
             if r.secure_count < 0:
                 self._fail(
@@ -240,6 +253,88 @@ class InvariantAuditor:
                     f"router {r.rid} holds secure_count "
                     f"{r.secure_count} after drain (expected 0)",
                 )
+            held += r.secure_count
+        outstanding = sim.secures_placed - sim.secures_released
+        if outstanding != held:
+            self._fail(
+                sim, "secure-ledger",
+                f"secure ledger out of balance: placed "
+                f"{sim.secures_placed} - released {sim.secures_released} "
+                f"= {outstanding}, but routers hold {held}",
+            )
+        if require_zero and sim.secures_placed != sim.secures_released:
+            self._fail(
+                sim, "secure-ledger",
+                f"secure ledger asymmetric after drain: placed "
+                f"{sim.secures_placed} != released {sim.secures_released}",
+            )
+        self.checks_passed += 1
+
+    def _check_fault_accounting(self, sim: "Simulator") -> None:
+        stats = sim.stats
+        faults = sim._faults
+        if faults is None:
+            for name in (
+                "link_faults", "flits_retransmitted", "forced_wakes",
+                "vr_switch_aborts", "vr_safe_mode_entries",
+                "features_corrupted", "predictor_fallbacks",
+            ):
+                if getattr(stats, name) != 0:
+                    self._fail(
+                        sim, "fault-accounting",
+                        f"no fault scheduler attached but stats.{name} is "
+                        f"{getattr(stats, name)} (expected 0)",
+                    )
+            self.checks_passed += 1
+            return
+        acct_retx = int(sim.accountant.retx_flits.sum())
+        pairs = [
+            ("link faults drawn", faults.link_faults,
+             "transfers retried", stats.link_faults),
+            ("retx flits drawn", faults.retx_flits,
+             "flits retransmitted", stats.flits_retransmitted),
+            ("flits retransmitted", stats.flits_retransmitted,
+             "retx flits charged", acct_retx),
+            ("vr aborts drawn", faults.vr_aborts,
+             "switch aborts stalled", stats.vr_switch_aborts),
+            ("safe modes drawn", faults.vr_safe_modes,
+             "safe modes entered", stats.vr_safe_mode_entries),
+            ("features corrupted (sched)", faults.features_corrupted,
+             "features corrupted (stats)", stats.features_corrupted),
+        ]
+        for left_name, left, right_name, right in pairs:
+            if left != right:
+                self._fail(
+                    sim, "fault-accounting",
+                    f"{left_name} ({left}) != {right_name} ({right})",
+                )
+        pending_stuck = sum(
+            1 for r in sim.network.routers if r.wake_stuck
+        )
+        if faults.wakeups_stuck != stats.forced_wakes + pending_stuck:
+            self._fail(
+                sim, "fault-accounting",
+                f"stuck wakeups drawn ({faults.wakeups_stuck}) != watchdog "
+                f"force-wakes ({stats.forced_wakes}) + still pending "
+                f"({pending_stuck})",
+            )
+        policy = sim.policy
+        if policy.proactive and policy.uses_dvfs:
+            # Every corrupted vector poisons exactly one dot product
+            # (NaN/inf propagate), which must trip exactly one fallback.
+            if stats.predictor_fallbacks != stats.features_corrupted:
+                self._fail(
+                    sim, "fault-accounting",
+                    f"proactive policy made {stats.predictor_fallbacks} "
+                    f"threshold fallbacks for {stats.features_corrupted} "
+                    f"corrupted feature vectors",
+                )
+        elif stats.predictor_fallbacks != 0:
+            self._fail(
+                sim, "fault-accounting",
+                f"non-predicting policy recorded "
+                f"{stats.predictor_fallbacks} predictor fallbacks",
+            )
         self.checks_passed += 1
 
     def _check_residency(self, sim: "Simulator") -> None:
@@ -334,6 +429,19 @@ class InvariantAuditor:
                 "entries_remaining": sim.entries_remaining,
                 "total_trace_entries": sim.total_trace_entries,
                 "epoch_audits": self.epoch_audits,
+                "secures_placed": sim.secures_placed,
+                "secures_released": sim.secures_released,
+                "forced_wakes": stats.forced_wakes,
+                "link_faults": stats.link_faults,
+                "flits_retransmitted": stats.flits_retransmitted,
+                "vr_switch_aborts": stats.vr_switch_aborts,
+                "vr_safe_mode_entries": stats.vr_safe_mode_entries,
+                "features_corrupted": stats.features_corrupted,
+                "predictor_fallbacks": stats.predictor_fallbacks,
             },
+            "faults": (
+                None if sim._faults is None
+                else dataclasses.asdict(sim._faults.config)
+            ),
             "context": self.context,
         }

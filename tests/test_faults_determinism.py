@@ -1,0 +1,95 @@
+"""Fault injection must compose with every execution mode bit-identically.
+
+The whole point of the *deterministic* fault scheduler is that a faulted
+run is as reproducible as a clean one: same (seed, FaultConfig) → same
+fault schedule → same metrics, whether the run executes serially, in a
+worker pool, or out of the content-addressed cache.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.common.config import SimConfig
+from repro.exec.cache import RunCache
+from repro.exec.pool import SimTask, run_sim_tasks
+from repro.faults import FaultConfig
+from repro.traffic.patterns import generate_pattern_trace
+
+SIM = SimConfig(topology="mesh", radix=4, concentration=1, epoch_cycles=100)
+WEIGHTS = np.array([0.05, 1.5, 1.5, 0.0, 0.0])
+FAULTS = FaultConfig.moderate(seed=11)
+
+
+def _tasks():
+    tasks = []
+    for i, policy in enumerate(("baseline", "pg", "dozznoc", "turbo")):
+        trace = generate_pattern_trace(
+            "uniform", num_cores=SIM.num_cores, duration_ns=900.0,
+            rate_per_core_ns=0.04, seed=i,
+        )
+        weights = WEIGHTS if policy in ("dozznoc", "turbo") else None
+        tasks.append(
+            SimTask(
+                policy=policy, trace=trace, sim=SIM, weights=weights,
+                audit=True, faults=FAULTS,
+            )
+        )
+    return tasks
+
+
+def _rows(metrics):
+    return [dataclasses.asdict(m) for m in metrics]
+
+
+class TestFaultedExecutionModes:
+    def test_serial_pool_and_cache_agree(self, tmp_path):
+        serial = _rows(run_sim_tasks(_tasks(), jobs=1))
+        pooled = _rows(run_sim_tasks(_tasks(), jobs=4))
+        assert serial == pooled
+
+        cache = RunCache(tmp_path / "runs")
+        missed = _rows(run_sim_tasks(_tasks(), jobs=1, cache=cache))
+        assert missed == serial
+        assert cache.misses == len(serial) and cache.hits == 0
+
+        hit = _rows(run_sim_tasks(_tasks(), jobs=1, cache=cache))
+        assert hit == serial
+        assert cache.hits == len(serial)
+
+    def test_faulted_runs_actually_degraded(self):
+        rows = _rows(run_sim_tasks(_tasks(), jobs=1))
+        # The moderate preset injects link errors into every policy's run.
+        assert all(r["flits_retransmitted"] > 0 for r in rows)
+
+    def test_repeat_run_is_bit_identical(self):
+        assert _rows(run_sim_tasks(_tasks(), jobs=1)) == _rows(
+            run_sim_tasks(_tasks(), jobs=1)
+        )
+
+
+class TestFaultsInCacheKey:
+    def test_faults_partition_the_cache(self):
+        base = _tasks()[0]
+        clean = dataclasses.replace(base, faults=None)
+        other_seed = dataclasses.replace(
+            base, faults=dataclasses.replace(FAULTS, seed=FAULTS.seed + 1)
+        )
+        keys = {
+            base.cache_key(), clean.cache_key(), other_seed.cache_key(),
+        }
+        assert len(keys) == 3
+
+    def test_same_faults_same_key(self):
+        a, b = _tasks()[0], _tasks()[0]
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_never_serves_faulted_for_clean(self, tmp_path):
+        cache = RunCache(tmp_path / "runs")
+        faulted = _tasks()[:1]
+        clean = [dataclasses.replace(faulted[0], faults=None)]
+        run_sim_tasks(faulted, jobs=1, cache=cache)
+        before = cache.hits
+        fresh = run_sim_tasks(clean, jobs=1, cache=cache)
+        assert cache.hits == before  # miss: different content address
+        assert fresh[0].flits_retransmitted == 0

@@ -137,6 +137,11 @@ class _StubSim:
     def settle(self, router):
         self.settled += 1
 
+    def begin_switch(self, router, target):
+        from repro.core.modes import mode
+
+        router.begin_switch(mode(target))
+
 
 class TestApplyMode:
     def test_epoch_decision_recorded_and_switch_started(self, router):

@@ -1,0 +1,144 @@
+"""Campaign-engine hardening: crashes, hangs, and honest reporting.
+
+Exercises map_tasks' robustness contract with real worker crashes
+(``os._exit``) and real hangs (``time.sleep``): per-task submission means
+one dying worker loses one task; stranded tasks are retried in a fresh
+pool and finally inline with a RuntimeWarning naming the counts; tasks
+that exceed ``timeout`` raise PoolTimeoutError instead of hanging the
+caller.
+"""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.common.errors import ExecError, PoolTimeoutError, ReproError
+from repro.exec.pool import map_tasks
+
+# ---------------------------------------------------------------------- #
+# Module-level workers (picklable by construction)
+# ---------------------------------------------------------------------- #
+
+
+def _double(x):
+    return 2 * x
+
+
+def _crash_unless_marked(arg):
+    """Die hard on the first attempt, succeed once the marker exists.
+
+    Proves the retry really runs in a *fresh* pool: the first attempt
+    kills its worker process outright (no exception to catch), the
+    marker file left behind lets the second attempt succeed.
+    """
+    marker, value = arg
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(13)
+    return value * 10
+
+
+def _crash_always(_arg):
+    os._exit(13)
+
+
+def _sleep_then_return(arg):
+    delay, value = arg
+    time.sleep(delay)
+    return value
+
+
+class _Unpicklable:
+    def __reduce__(self):
+        raise pickle.PicklingError("not today")
+
+
+class TestErrorTypes:
+    def test_pool_timeout_error_lineage_and_payload(self):
+        err = PoolTimeoutError([4, 2], 1.5)
+        assert isinstance(err, ExecError)
+        assert isinstance(err, ReproError)
+        assert err.indices == [4, 2]
+        assert err.timeout == 1.5
+        assert "2 pool task(s)" in str(err)
+
+
+class TestCrashRecovery:
+    def test_worker_crash_is_retried_in_fresh_pool(self, tmp_path):
+        tasks = [(str(tmp_path / f"marker-{i}"), i) for i in range(4)]
+        with pytest.warns(RuntimeWarning, match="process pool broke"):
+            results = map_tasks(_crash_unless_marked, tasks, jobs=2)
+        assert results == [0, 10, 20, 30]
+        # Every marker exists: each task's first attempt really crashed.
+        assert all(os.path.exists(m) for m, _ in tasks)
+
+    def test_warning_names_salvage_and_retry_counts(self, tmp_path):
+        tasks = [(str(tmp_path / f"m-{i}"), i) for i in range(3)]
+        with pytest.warns(RuntimeWarning, match=r"salvaged \d+ .*re-ran"):
+            map_tasks(_crash_unless_marked, tasks, jobs=2, pool_retries=2)
+
+    def test_unrecoverable_crash_falls_back_inline_and_raises(self):
+        # A task that always kills its worker exhausts pool retries and
+        # then runs inline — where os._exit would kill the test process.
+        # Use a crash that only fires inside pool workers instead.
+        pid = os.getpid()
+        tasks = [1, 2]
+        with pytest.warns(RuntimeWarning, match="inline"):
+            results = map_tasks(_crash_in_child_of(pid), tasks, jobs=2)
+        assert results == [1, 2]
+
+    def test_on_result_fires_per_completion(self):
+        seen = []
+        out = map_tasks(
+            _double, [1, 2, 3], jobs=1,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert out == [2, 4, 6]
+        assert seen == [(0, 2), (1, 4), (2, 6)]
+
+    def test_unpicklable_tasks_run_serially(self):
+        probe = _Unpicklable()
+        out = map_tasks(lambda t: 7, [probe], jobs=4)
+        assert out == [7]
+
+
+def _crash_in_child_of(parent_pid):
+    return _CrashInChild(parent_pid)
+
+
+class _CrashInChild:
+    """Kill the process iff it is not ``parent_pid`` (i.e. a pool worker)."""
+
+    def __init__(self, parent_pid):
+        self.parent_pid = parent_pid
+
+    def __call__(self, value):
+        if os.getpid() != self.parent_pid:
+            os._exit(13)
+        return value
+
+
+class TestTimeouts:
+    def test_hung_task_raises_pool_timeout_error(self):
+        tasks = [(0.0, "fast"), (30.0, "hung")]
+        with pytest.raises(PoolTimeoutError) as info:
+            map_tasks(_sleep_then_return, tasks, jobs=2, timeout=1.0)
+        assert info.value.indices == [1]
+        assert info.value.timeout == 1.0
+
+    def test_finished_work_is_delivered_before_the_raise(self):
+        delivered = []
+        tasks = [(0.0, "fast"), (30.0, "hung")]
+        with pytest.raises(PoolTimeoutError):
+            map_tasks(
+                _sleep_then_return, tasks, jobs=2, timeout=1.0,
+                on_result=lambda i, r: delivered.append((i, r)),
+            )
+        assert (0, "fast") in delivered
+
+    def test_generous_timeout_is_harmless(self):
+        out = map_tasks(_double, [1, 2], jobs=2, timeout=120.0)
+        assert out == [2, 4]
