@@ -29,3 +29,49 @@ def test_kernel_speed_dozznoc(benchmark):
         lambda: run_simulation(CONFIG, TRACE, make_policy("dozznoc"))
     )
     assert result.stats.packets_delivered > 0
+
+
+def test_kernel_speed_dozznoc_telemetry(benchmark):
+    from repro.telemetry import TelemetryRecorder
+
+    result = benchmark(
+        lambda: run_simulation(
+            CONFIG, TRACE, make_policy("dozznoc"),
+            telemetry=TelemetryRecorder(),
+        )
+    )
+    assert result.stats.packets_delivered > 0
+
+
+def test_telemetry_overhead_bounded():
+    """Telemetry-on must stay within 10% of telemetry-off wall-clock.
+
+    Interleaved best-of-N: each variant's minimum over alternating runs,
+    so a background load spike hits both sides rather than biasing one.
+    """
+    from time import perf_counter
+
+    from repro.telemetry import TelemetryRecorder
+
+    def run_off():
+        return run_simulation(CONFIG, TRACE, make_policy("dozznoc"))
+
+    def run_on():
+        return run_simulation(
+            CONFIG, TRACE, make_policy("dozznoc"),
+            telemetry=TelemetryRecorder(),
+        )
+
+    run_off(), run_on()  # warm caches / JIT'd import machinery
+    best_off = best_on = float("inf")
+    for _ in range(7):
+        t0 = perf_counter()
+        run_off()
+        best_off = min(best_off, perf_counter() - t0)
+        t0 = perf_counter()
+        run_on()
+        best_on = min(best_on, perf_counter() - t0)
+    assert best_on <= best_off * 1.10, (
+        f"telemetry overhead {100 * (best_on / best_off - 1):.1f}% "
+        f"exceeds the 10% budget (off={best_off:.4f}s on={best_on:.4f}s)"
+    )

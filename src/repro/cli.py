@@ -7,6 +7,8 @@ points without writing any Python:
 * ``dozznoc figure fig5|fig6|fig7|fig8|fig9`` — regenerate a figure,
 * ``dozznoc run --policy dozznoc --benchmark canneal`` — one simulation,
 * ``dozznoc campaign [--compressed] [--cmesh]`` — the full evaluation,
+* ``dozznoc telemetry DIR [DIR2]`` — tabulate, diff or validate telemetry
+  directories written by ``run``/``campaign`` ``--telemetry``,
 * ``dozznoc list`` — available benchmarks, policies and experiments.
 """
 
@@ -172,8 +174,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.faults import FaultConfig
 
         faults = FaultConfig.moderate(seed=args.seed)
-    result = run_simulation(config, trace, make_policy(args.policy),
-                            audit=auditor, faults=faults)
+    if args.profile and not args.telemetry:
+        print("dozznoc run: --profile requires --telemetry DIR",
+              file=sys.stderr)
+        return 2
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import TelemetryRecorder
+
+        telemetry = TelemetryRecorder()
+    from repro.telemetry.recorder import maybe_cprofile
+
+    with maybe_cprofile(args.profile) as prof:
+        result = run_simulation(config, trace, make_policy(args.policy),
+                                audit=auditor, faults=faults,
+                                telemetry=telemetry)
+    if telemetry is not None:
+        from repro.telemetry import write_series, write_summary
+
+        label = f"{args.policy}-{trace.name}"
+        series_path = write_series(args.telemetry, label, telemetry)
+        summary_path, prom_path = write_summary(
+            args.telemetry, label, telemetry.metrics, telemetry.meta
+        )
+        print(f"{'telemetry series':28s} {series_path}")
+        print(f"{'telemetry summary':28s} {summary_path} / {prom_path.name}")
+        if prof is not None:
+            from repro.telemetry.recorder import write_profile
+
+            raw, txt = write_profile(prof, args.telemetry, label)
+            print(f"{'profile':28s} {raw} / {txt.name}")
     for key, value in sorted(result.summary().items()):
         print(f"{key:28s} {value:.6g}")
     print(f"{'drained':28s} {result.drained}")
@@ -228,6 +258,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cache_dir=scale.cache_dir,
         jobs=scale.jobs,
         audit=scale.audit,
+        telemetry_dir=args.telemetry,
     )
     cache = campaign_run_cache(campaign)
     result = run_campaign(campaign, cache=cache)
@@ -260,7 +291,47 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"resumed {result.resumed_tasks} task(s) from a previous "
             "attempt's checkpoint journal"
         )
+    if args.telemetry:
+        from repro.telemetry.diff import CAMPAIGN_SUMMARY
+        from pathlib import Path
+
+        print(f"telemetry: {Path(args.telemetry) / CAMPAIGN_SUMMARY}")
     _warn_undrained(result)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        diff_summaries,
+        dir_summary,
+        format_diff,
+        format_summary,
+        validate_dir,
+    )
+
+    dirs = [args.dir] + ([args.dir_b] if args.dir_b else [])
+    if args.check:
+        rc = 0
+        for d in dirs:
+            errors = validate_dir(d)
+            if errors:
+                rc = 1
+                for e in errors:
+                    print(f"{d}: {e}", file=sys.stderr)
+            else:
+                print(f"{d}: OK")
+        return rc
+    if args.dir_b:
+        _, a = dir_summary(args.dir)
+        _, b = dir_summary(args.dir_b)
+        rows = diff_summaries(a, b)
+        print(format_diff(
+            rows, only_changed=not args.all,
+            title=f"telemetry diff: a={args.dir} b={args.dir_b}",
+        ))
+        return 0
+    meta, metrics = dir_summary(args.dir)
+    print(format_summary(meta, metrics))
     return 0
 
 
@@ -332,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--faults", action="store_true",
                        help="inject the 'moderate' deterministic fault "
                             "profile (all four fault classes)")
+    p_run.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="capture per-epoch telemetry and write the "
+                            "series/summary artifacts into DIR")
+    p_run.add_argument("--profile", action="store_true",
+                       help="capture a cProfile of the run into the "
+                            "--telemetry directory")
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser("trace", help="generate / inspect a trace")
@@ -357,7 +434,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cache trained weights and simulation results")
     p_camp.add_argument("--audit", action="store_true",
                         help="run invariant audits on every evaluation run")
+    p_camp.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="write per-task telemetry plus a merged "
+                             "campaign-summary into DIR")
     p_camp.set_defaults(fn=_cmd_campaign)
+
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="tabulate one telemetry dir, diff two, or --check schemas",
+    )
+    p_tel.add_argument("dir", help="telemetry directory (run or campaign)")
+    p_tel.add_argument("dir_b", nargs="?", default=None,
+                       help="second directory to diff against")
+    p_tel.add_argument("--check", action="store_true",
+                       help="validate every artifact against the schema "
+                            "(exit 1 on any error)")
+    p_tel.add_argument("--all", action="store_true",
+                       help="when diffing, show unchanged metrics too")
+    p_tel.set_defaults(fn=_cmd_telemetry)
 
     p_fuzz = sub.add_parser(
         "fuzz",

@@ -15,6 +15,7 @@ provides the two pieces that make paper-scale sweeps fast:
 from repro.exec.cache import RunCache, code_version, run_key
 from repro.exec.journal import CampaignJournal
 from repro.exec.pool import (
+    PoolHealth,
     SimTask,
     TrainTask,
     effective_jobs,
@@ -30,6 +31,7 @@ from repro.exec.pool import (
 
 __all__ = [
     "CampaignJournal",
+    "PoolHealth",
     "RunCache",
     "SimTask",
     "TrainTask",

@@ -60,6 +60,33 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
 T = TypeVar("T")
 R = TypeVar("R")
 
+
+@dataclass
+class PoolHealth:
+    """Mutable counters describing how one fan-out actually executed.
+
+    The campaign engine folds these into its telemetry aggregate so a
+    degraded run (broken pools, inline fallbacks, timeouts) is visible in
+    the emitted summary, not only as a transient ``RuntimeWarning``.
+    """
+
+    tasks: int = 0  #: tasks handed to the exec layer (incl. cache hits)
+    cached: int = 0  #: tasks answered from the run cache without simulating
+    salvaged: int = 0  #: results completed before a pool breakage, kept
+    retried: int = 0  #: tasks re-submitted to a fresh pool after breakage
+    inline: int = 0  #: tasks that exhausted pool retries and ran serially
+    timeouts: int = 0  #: tasks that overran their wall-clock budget
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "tasks": self.tasks,
+            "cached": self.cached,
+            "salvaged": self.salvaged,
+            "retried": self.retried,
+            "inline": self.inline,
+            "timeouts": self.timeouts,
+        }
+
 #: Feature sets addressable by name across process boundaries.
 _CANONICAL_FEATURE_SETS: dict[str, FeatureSet] = {
     REDUCED_FEATURES.name: REDUCED_FEATURES,
@@ -115,6 +142,12 @@ class SimTask:
     #: Optional deterministic fault injection (changes results, so it is
     #: part of the cache key).
     faults: FaultConfig | None = None
+    #: When set, the worker attaches a telemetry recorder and writes this
+    #: task's series + summary into the directory.  Telemetry never
+    #: changes results, so it is deliberately **not** part of the cache
+    #: key — a cache hit skips the simulation and therefore emits no
+    #: fresh series (the campaign aggregate counts it as cached).
+    telemetry_dir: str | None = None
 
     def cache_key(self) -> str:
         """Content address of this task's result."""
@@ -151,9 +184,23 @@ def execute_sim_task(task: SimTask) -> "ModelMetrics":
         from repro.validate.invariants import InvariantAuditor
 
         audit = InvariantAuditor(artifact_dir=task.artifact_dir)
+    telemetry = None
+    if task.telemetry_dir is not None:
+        from repro.telemetry import TelemetryRecorder
+
+        telemetry = TelemetryRecorder()
     result = run_simulation(
-        task.sim, task.trace, policy, audit=audit, faults=task.faults
+        task.sim, task.trace, policy, audit=audit, faults=task.faults,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        from repro.telemetry import write_series, write_summary
+
+        label = f"{task.policy}-{task.trace.name}"
+        write_series(task.telemetry_dir, label, telemetry)
+        write_summary(
+            task.telemetry_dir, label, telemetry.metrics, telemetry.meta
+        )
     return ModelMetrics.from_result(result)
 
 
@@ -214,6 +261,7 @@ def map_tasks(
     on_result: Callable[[int, R], None] | None = None,
     timeout: float | None = None,
     pool_retries: int = 2,
+    health: PoolHealth | None = None,
 ) -> list[R]:
     """Apply ``fn`` to every task, preserving order.
 
@@ -237,6 +285,10 @@ def map_tasks(
       deliberately **not** re-run inline, where the same hang would
       block the caller forever.  Everything already finished has been
       delivered through ``on_result`` first.
+    * ``health``, when given, receives the salvaged / retried / inline /
+      timeout counts (its ``tasks`` / ``cached`` fields are the caller's
+      to maintain), so degradation is observable after the warning scrolls
+      away.
     """
     tasks = list(tasks)
     if not tasks:
@@ -290,8 +342,14 @@ def map_tasks(
             salvaged = len(tasks) - len(remaining) - len(timed_out)
 
     if timed_out:
+        if health is not None:
+            health.timeouts += len(timed_out)
         raise PoolTimeoutError(sorted(timed_out), timeout)
     inline = len(remaining)
+    if health is not None:
+        health.salvaged += max(salvaged, 0) if (retried or inline) else 0
+        health.retried += len(retried)
+        health.inline += inline
     for i in remaining:
         _finish(i, fn(tasks[i]))
     if retried or inline:
@@ -313,6 +371,7 @@ def run_sim_tasks(
     cache: RunCache | None = None,
     journal: CampaignJournal | None = None,
     timeout: float | None = None,
+    health: PoolHealth | None = None,
 ) -> list[ModelMetrics]:
     """Run simulations through the cache, fanning misses over the pool.
 
@@ -328,6 +387,8 @@ def run_sim_tasks(
     tasks = list(tasks)
     results: list[ModelMetrics | None] = [None] * len(tasks)
     pending: list[tuple[int, SimTask, str | None]] = []
+    if health is not None:
+        health.tasks += len(tasks)
     for i, task in enumerate(tasks):
         key = None
         if cache is not None:
@@ -335,6 +396,8 @@ def run_sim_tasks(
             hit = cache.get(key)
             if hit is not None:
                 results[i] = hit
+                if health is not None:
+                    health.cached += 1
                 if journal is not None:
                     journal.mark(key, cached=True)
                 continue
@@ -355,6 +418,7 @@ def run_sim_tasks(
         jobs,
         on_result=_checkpoint,
         timeout=timeout,
+        health=health,
     )
     assert all(m is not None for m in results)
     return results  # type: ignore[return-value]

@@ -21,6 +21,8 @@ bit-identical results.
 
 from __future__ import annotations
 
+import json
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,6 +33,7 @@ from repro.core.features import REDUCED_FEATURES, FeatureSet
 from repro.exec.cache import RunCache
 from repro.exec.journal import CampaignJournal
 from repro.exec.pool import (
+    PoolHealth,
     SimTask,
     TrainTask,
     feature_set_spec,
@@ -80,6 +83,13 @@ class CampaignConfig:
     #: overrunning it raises PoolTimeoutError instead of hanging the
     #: campaign; completed work is already checkpointed.
     task_timeout: float | None = None
+    #: When set, every evaluation run writes its per-epoch series and
+    #: mergeable summary into this directory, and the campaign writes a
+    #: merged ``campaign-summary.json`` / ``.prom`` plus phase wall-clock
+    #: timers and pool-health counters.  Telemetry never changes results
+    #: and is not part of any cache key; cache hits therefore emit no
+    #: fresh per-task series (they are counted as ``pool_tasks_cached``).
+    telemetry_dir: str | Path | None = None
 
 
 @dataclass
@@ -199,6 +209,60 @@ def campaign_journal(campaign: CampaignConfig) -> CampaignJournal | None:
     return CampaignJournal(Path(campaign.cache_dir) / "journal.jsonl")
 
 
+def write_campaign_telemetry(
+    directory: Path,
+    recorder,
+    health: PoolHealth,
+    campaign: CampaignConfig,
+    resumed_tasks: int = 0,
+) -> Path:
+    """Merge per-task telemetry into ``campaign-summary.json`` + ``.prom``.
+
+    The campaign aggregate is the *exact* associative merge of every
+    per-task summary in the directory (order-independent, so it does not
+    depend on ``jobs``), folded together with the campaign recorder's own
+    phase wall-clock timers and the exec layer's pool-health counters.
+    """
+    from repro.telemetry import merge_metric_sets, prometheus_text
+    from repro.telemetry.diff import CAMPAIGN_SUMMARY
+    from repro.telemetry.io import load_summary, summary_payload
+
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, value in (
+        ("pool_tasks_total", health.tasks),
+        ("pool_tasks_cached", health.cached),
+        ("pool_tasks_salvaged", health.salvaged),
+        ("pool_tasks_retried", health.retried),
+        ("pool_tasks_inline", health.inline),
+        ("pool_tasks_timeout", health.timeouts),
+        ("campaign_tasks_resumed", resumed_tasks),
+    ):
+        recorder.metrics.counter(
+            name, help=f"exec-layer health: {name.replace('_', ' ')}"
+        ).inc(value)
+    task_paths = sorted(directory.glob("summary-*.json"))
+    task_sets = [load_summary(p)[1] for p in task_paths]
+    merged = merge_metric_sets([recorder.metrics, *task_sets])
+    meta = {
+        "kind": "campaign",
+        "models": list(campaign.models),
+        "jobs": campaign.jobs,
+        "duration_ns": campaign.duration_ns,
+        "seed": campaign.seed,
+        "resumed_tasks": resumed_tasks,
+        "pool": health.as_dict(),
+        "merged_from": [p.name for p in task_paths],
+    }
+    json_path = directory / CAMPAIGN_SUMMARY
+    json_path.write_text(
+        json.dumps(summary_payload(merged, meta), indent=2, sort_keys=True)
+        + "\n"
+    )
+    prom = directory / (CAMPAIGN_SUMMARY.rsplit(".", 1)[0] + ".prom")
+    prom.write_text(prometheus_text(merged))
+    return json_path
+
+
 def run_campaign(
     campaign: CampaignConfig,
     jobs: int | None = None,
@@ -214,13 +278,27 @@ def run_campaign(
     if cache is None:
         cache = campaign_run_cache(campaign)
     journal = campaign_journal(campaign)
-    suite = build_suite(
-        num_cores=campaign.sim.num_cores,
-        duration_ns=campaign.duration_ns,
-        seed=campaign.seed,
-        compressed=campaign.compressed,
-    )
-    weights = train_ml_models(suite, campaign, jobs=jobs)
+
+    recorder = None
+    health = None
+    if campaign.telemetry_dir is not None:
+        from repro.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder(series=False)
+        health = PoolHealth()
+
+    def _phase(name: str):
+        return nullcontext() if recorder is None else recorder.phase(name)
+
+    with _phase("build_suite"):
+        suite = build_suite(
+            num_cores=campaign.sim.num_cores,
+            duration_ns=campaign.duration_ns,
+            seed=campaign.seed,
+            compressed=campaign.compressed,
+        )
+    with _phase("train"):
+        weights = train_ml_models(suite, campaign, jobs=jobs)
 
     spec = feature_set_spec(campaign.feature_set)
     tasks = [
@@ -232,6 +310,10 @@ def run_campaign(
             feature_set=spec,
             audit=campaign.audit,
             faults=campaign.faults,
+            telemetry_dir=(
+                None if campaign.telemetry_dir is None
+                else str(campaign.telemetry_dir)
+            ),
         )
         for trace in suite.test
         for model in campaign.models
@@ -240,15 +322,17 @@ def run_campaign(
     if journal is not None and len(journal):
         resumed = sum(1 for t in tasks if journal.done(t.cache_key()))
     try:
-        results = iter(
-            run_sim_tasks(
-                tasks,
-                jobs=jobs,
-                cache=cache,
-                journal=journal,
-                timeout=campaign.task_timeout,
+        with _phase("simulate"):
+            results = iter(
+                run_sim_tasks(
+                    tasks,
+                    jobs=jobs,
+                    cache=cache,
+                    journal=journal,
+                    timeout=campaign.task_timeout,
+                    health=health,
+                )
             )
-        )
     finally:
         if journal is not None:
             journal.close()
@@ -264,6 +348,11 @@ def run_campaign(
             for m in campaign.models
             if m != "baseline"
         }
+    if recorder is not None and health is not None:
+        write_campaign_telemetry(
+            Path(campaign.telemetry_dir), recorder, health, campaign,
+            resumed_tasks=resumed,
+        )
     return CampaignResult(
         config=campaign,
         metrics=metrics,

@@ -120,6 +120,7 @@ class Simulator:
         timeline=None,
         audit=None,
         faults: "FaultConfig | FaultScheduler | None" = None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.trace = trace
@@ -170,6 +171,14 @@ class Simulator:
         # whole run (audited for symmetry at drain by repro.validate).
         self.secures_placed = 0
         self.secures_released = 0
+
+        # Telemetry recorder (repro.telemetry): observes epoch boundaries
+        # and wake/switch events through pre-registered handles, never
+        # mutates state.  ``None`` (the default) executes zero telemetry
+        # code — disabled runs are bit-identical to pre-telemetry ones.
+        self._telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self)
 
         fs = policy.feature_set
         self._needs_features = collect_features or policy.proactive
@@ -250,6 +259,8 @@ class Simulator:
             if self._faults is not None:
                 self._apply_wakeup_faults(router)
             self.accountant.add_wake_event(router.rid, router.mode)
+            if self._telemetry is not None:
+                self._telemetry.on_wake_begin(router.rid, self.now_tick)
             self._expedite(router)
 
     def unsecure(self, router: Router) -> None:
@@ -310,11 +321,19 @@ class Simulator:
                     self.stats.vr_safe_mode_entries += 1
                     target = SAFE_MODE_INDEX
                     break
+        prev_index = router.mode.index
         router.begin_switch(mode(target))
         if extra_stall:
             # Aborted attempts stall transport even when the final switch
             # is a no-op (safe-mode fallback at a router already at max).
             router.switch_stall += extra_stall
+        if self._telemetry is not None and (
+            router.mode.index != prev_index or extra_stall
+        ):
+            self._telemetry.on_switch(
+                router.rid, self.now_tick, prev_index, router.mode.index,
+                router.switch_stall,
+            )
 
     def _expedite(self, router: Router) -> None:
         """Reschedule a woken router's next firing.
@@ -451,6 +470,8 @@ class Simulator:
         self._flush_residency()
         if self.audit is not None:
             self.audit.on_end(self, drained)
+        if self._telemetry is not None:
+            self._telemetry.on_end(self, drained)
         elapsed_ns = max(self.now_ns, 1e-9)
         return SimResult(
             policy_name=self.policy.name,
@@ -498,6 +519,8 @@ class Simulator:
                 if self._faults is not None:
                     self._apply_wakeup_faults(router)
                 self.accountant.add_wake_event(router.rid, router.mode)
+                if self._telemetry is not None:
+                    self._telemetry.on_wake_begin(router.rid, tick)
                 router.epoch_cycle += 1
             else:
                 router.epoch_cycle += 1
@@ -522,11 +545,19 @@ class Simulator:
                     router.forced_wakes += 1
                     self.stats.forced_wakes += 1
                     router.finish_wakeup()
+                    if self._telemetry is not None:
+                        self._telemetry.on_wake_complete(
+                            router.rid, tick, True
+                        )
             else:
                 router.wakeup_remaining -= 1
                 if router.wakeup_remaining <= 0:
                     router.finish_wakeup()
                     router.wake_fail_count = 0
+                    if self._telemetry is not None:
+                        self._telemetry.on_wake_complete(
+                            router.rid, tick, False
+                        )
             router.epoch_cycle += 1
         else:  # ACTIVE
             # 1. Commit transfers whose tail flit has landed.
@@ -805,6 +836,10 @@ class Simulator:
                     features = corrupted
                     self.stats.features_corrupted += 1
         self.policy.on_epoch(router, self, features)
+        if self._telemetry is not None:
+            # Post-decision, pre-reset: epoch accumulators are still live
+            # and router.mode reflects the fresh DVFS choice.
+            self._telemetry.on_epoch(self, router, features)
         router.reset_epoch()
         if self.audit is not None:
             self.audit.on_epoch(self, router)
@@ -818,6 +853,7 @@ def run_simulation(
     timeline=None,
     audit=None,
     faults=None,
+    telemetry=None,
 ) -> SimResult:
     """One-call convenience wrapper around :class:`Simulator`.
 
@@ -830,8 +866,10 @@ def run_simulation(
     :class:`repro.faults.FaultConfig` (or a pre-built scheduler) enabling
     deterministic fault injection; the run then exercises the graceful
     degradation paths but remains bit-reproducible for a given config.
+    ``telemetry`` may be a :class:`repro.telemetry.TelemetryRecorder`;
+    recording is read-only and never changes results.
     """
     return Simulator(
         config, trace, policy, collect_features, timeline,
-        audit=audit, faults=faults,
+        audit=audit, faults=faults, telemetry=telemetry,
     ).run()

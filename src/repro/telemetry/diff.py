@@ -1,0 +1,139 @@
+"""Tabulation and diffing of telemetry runs (``dozznoc telemetry``).
+
+A telemetry directory may hold many per-task summaries (one campaign
+task each) plus a merged campaign aggregate.  :func:`dir_summary` picks
+the canonical aggregate for a directory — the campaign merge when
+present, else the exact merge of every per-task summary — so two
+directories can always be compared like-for-like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.report import format_table
+from repro.telemetry.io import load_summary
+from repro.telemetry.metrics import MetricSet, merge_metric_sets
+
+#: The merged-campaign summary filename (written by the campaign engine).
+CAMPAIGN_SUMMARY = "campaign-summary.json"
+
+
+def dir_summary(directory: str | Path) -> tuple[dict, MetricSet]:
+    """The canonical ``(meta, metrics)`` aggregate of one directory."""
+    directory = Path(directory)
+    campaign = directory / CAMPAIGN_SUMMARY
+    if campaign.is_file():
+        return load_summary(campaign)
+    paths = sorted(directory.glob("summary-*.json"))
+    if not paths:
+        raise FileNotFoundError(
+            f"no telemetry summaries under {directory} (expected "
+            f"{CAMPAIGN_SUMMARY} or summary-*.json)"
+        )
+    if len(paths) == 1:
+        return load_summary(paths[0])
+    loaded = [load_summary(p) for p in paths]
+    merged = merge_metric_sets([m for _, m in loaded])
+    return {"merged_from": [p.name for p in paths]}, merged
+
+
+def _metric_scalars(metric_dict: dict) -> dict[str, float]:
+    """Flatten one serialized metric into comparable named scalars."""
+    kind = metric_dict["kind"]
+    name = metric_dict["name"]
+    if kind == "counter":
+        return {name: metric_dict["value"]}
+    if kind == "gauge":
+        out = {f"{name}.last": metric_dict["last"]}
+        if metric_dict["count"]:
+            out[f"{name}.mean"] = metric_dict["sum"] / metric_dict["count"]
+            out[f"{name}.max"] = metric_dict["max"]
+        return out
+    out = {f"{name}.count": metric_dict["count"]}
+    if metric_dict["count"]:
+        out[f"{name}.mean"] = metric_dict["sum"] / metric_dict["count"]
+    return out
+
+
+def summary_scalars(metrics: MetricSet) -> dict[str, float]:
+    """Every metric in one set flattened to ``name -> scalar``."""
+    out: dict[str, float] = {}
+    for metric in metrics.metrics.values():
+        out.update(_metric_scalars(metric.to_dict()))
+    return out
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One scalar's before/after comparison."""
+
+    name: str
+    a: float | None  # None = absent on this side
+    b: float | None
+
+    @property
+    def changed(self) -> bool:
+        return self.a != self.b
+
+    @property
+    def delta(self) -> float | None:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+    @property
+    def rel(self) -> float | None:
+        d = self.delta
+        if d is None or self.a in (None, 0):
+            return None
+        return d / abs(self.a)
+
+
+def diff_summaries(a: MetricSet, b: MetricSet) -> list[DiffRow]:
+    """Compare two aggregates scalar-by-scalar (union of names)."""
+    sa, sb = summary_scalars(a), summary_scalars(b)
+    return [
+        DiffRow(name, sa.get(name), sb.get(name))
+        for name in sorted(set(sa) | set(sb))
+    ]
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def format_diff(
+    rows: list[DiffRow], only_changed: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render a diff as an aligned table (changed scalars by default)."""
+    shown = [r for r in rows if r.changed] if only_changed else rows
+    if not shown:
+        return "telemetry diff: no differences"
+    table = [
+        (
+            r.name, _fmt(r.a), _fmt(r.b), _fmt(r.delta),
+            "-" if r.rel is None else f"{100 * r.rel:+.2f}%",
+        )
+        for r in shown
+    ]
+    return format_table(("metric", "a", "b", "delta", "rel"), table,
+                        title=title)
+
+
+def format_summary(meta: dict, metrics: MetricSet) -> str:
+    """Render one aggregate as an aligned name/value table."""
+    scalars = summary_scalars(metrics)
+    rows = [(k, _fmt(v)) for k, v in sorted(scalars.items())]
+    title = None
+    if meta:
+        bits = [f"{k}={meta[k]}" for k in ("policy", "trace", "seed")
+                if k in meta]
+        title = "telemetry summary" + (f" ({', '.join(bits)})" if bits else "")
+    return format_table(("metric", "value"), rows, title=title)

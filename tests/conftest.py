@@ -14,6 +14,7 @@ if _SRC.exists() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.common.config import SimConfig  # noqa: E402
+from repro.common.rng import make_rng  # noqa: E402
 from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace  # noqa: E402
 
 
@@ -47,4 +48,5 @@ def tiny_trace() -> Trace:
 
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(1234)
+    """The canonical seeded test generator (repro.common.rng)."""
+    return make_rng(1234)

@@ -1,0 +1,105 @@
+"""Golden-trace regression suite: frozen end-to-end fingerprints.
+
+Each case in :mod:`tests.regen_golden`'s matrix has a committed
+fingerprint under ``tests/golden/``.  The tests here recompute every
+fingerprint and demand **exact** equality — a drifted field fails with a
+readable per-field diff and the regeneration instructions.
+
+A sentinel test also proves the suite has teeth: a one-constant
+perturbation of the power model (a relative 1e-6 nudge to static power)
+must be caught, naming the energy fields it moved.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.regen_golden import (
+    GOLDEN_DIR,
+    compute_fingerprint,
+    golden_cases,
+    golden_path,
+)
+
+CASES = golden_cases()
+REGEN_HINT = (
+    "If this change is intentional, regenerate with "
+    "`PYTHONPATH=src python -m tests.regen_golden` and justify the diff "
+    "in review."
+)
+
+
+def _flatten(node, prefix: str = "") -> dict:
+    """Flatten nested dicts to dotted field names for diffing."""
+    out: dict = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            out.update(_flatten(value, f"{prefix}{key}."))
+    else:
+        out[prefix[:-1]] = node
+    return out
+
+
+def fingerprint_diff(frozen: dict, current: dict) -> list[str]:
+    """Human-readable per-field differences (empty = identical)."""
+    a, b = _flatten(frozen), _flatten(current)
+    lines = []
+    for field in sorted(set(a) | set(b)):
+        va = a.get(field, "<absent>")
+        vb = b.get(field, "<absent>")
+        if va != vb:
+            lines.append(f"  {field}: frozen={va!r} -> current={vb!r}")
+    return lines
+
+
+def test_matrix_matches_committed_files():
+    """Every case has a golden file and no stale files linger."""
+    expected = {golden_path(c["id"]).name for c in CASES}
+    on_disk = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert expected == on_disk, (
+        f"golden dir out of sync: missing={sorted(expected - on_disk)} "
+        f"stale={sorted(on_disk - expected)}. {REGEN_HINT}"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c["id"] for c in CASES])
+def test_golden_fingerprint(case):
+    path = golden_path(case["id"])
+    assert path.is_file(), (
+        f"missing golden fingerprint {path.name}. {REGEN_HINT}"
+    )
+    frozen = json.loads(path.read_text())
+    current = compute_fingerprint(case)
+    if current != frozen:
+        diff = fingerprint_diff(frozen, current)
+        pytest.fail(
+            f"golden fingerprint drift in {path.name} "
+            f"({len(diff)} field(s)):\n" + "\n".join(diff)
+            + f"\n{REGEN_HINT}"
+        )
+
+
+def test_perturbed_power_model_is_caught(monkeypatch):
+    """A 1e-6 relative nudge to static power must fail the suite loudly."""
+    import repro.power.accounting as accounting
+
+    # `accounting` imported the function by name, so patch *its* binding;
+    # patching dsent.I_LEAK_A would miss the already-bound default arg.
+    original = accounting.static_power_w
+
+    def perturbed(voltage, *args, **kwargs):
+        return original(voltage, *args, **kwargs) * (1.0 + 1e-6)
+
+    monkeypatch.setattr(accounting, "static_power_w", perturbed)
+
+    case = CASES[0]  # baseline: pure static-power workload
+    frozen = json.loads(golden_path(case["id"]).read_text())
+    current = compute_fingerprint(case)
+    diff = fingerprint_diff(frozen, current)
+    assert diff, "perturbed power model produced an identical fingerprint"
+    drifted = "\n".join(diff)
+    assert "summary.static_pj" in drifted, (
+        f"expected static_pj to drift, saw:\n{drifted}"
+    )

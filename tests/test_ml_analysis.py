@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import TrainingError
+from repro.common.rng import make_rng
 from repro.ml.analysis import (
     feature_importance,
     learning_curve,
@@ -14,7 +15,7 @@ from repro.ml.analysis import (
 @pytest.fixture(scope="module")
 def synthetic_data():
     """Labels driven almost entirely by feature 'x1'; 'noise' is junk."""
-    rng = np.random.default_rng(42)
+    rng = make_rng(42)
     n = 600
     x1 = rng.uniform(0, 0.4, n)
     noise = rng.normal(size=n)
@@ -72,7 +73,7 @@ class TestLearningCurve:
 class TestCalibration:
     def test_regression_to_the_mean_shape(self):
         # A shrunken predictor: pred = 0.5 * true + 0.05.
-        rng = np.random.default_rng(0)
+        rng = make_rng(0)
         y_true = rng.uniform(0, 0.4, 2000)
         y_pred = 0.5 * y_true + 0.05
         bands = prediction_calibration(y_true, y_pred)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import TrafficError
+from repro.common.rng import make_rng
 from repro.traffic.patterns import (
     PATTERNS,
     bit_complement,
@@ -18,7 +19,7 @@ from repro.traffic.patterns import (
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(0)
+    return make_rng(0)
 
 
 class TestPatternValidity:

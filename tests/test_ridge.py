@@ -5,11 +5,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import TrainingError
+from repro.common.rng import make_rng
 from repro.ml.ridge import RidgeModel, fit_ridge, rmse
 
 
 def linear_data(n=200, noise=0.0, seed=0):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     x = np.column_stack([np.ones(n), rng.normal(size=(n, 2))])
     w_true = np.array([0.5, 1.5, -2.0])
     y = x @ w_true + noise * rng.normal(size=n)
@@ -35,7 +36,7 @@ class TestFit:
         assert np.linalg.norm(heavy.weights) < np.linalg.norm(free.weights)
 
     def test_collinear_features_handled(self):
-        rng = np.random.default_rng(1)
+        rng = make_rng(1)
         base = rng.normal(size=100)
         x = np.column_stack([base, base])  # perfectly collinear
         y = 2 * base
@@ -118,7 +119,7 @@ class TestRidgeProperties:
         lam=st.floats(min_value=1e-6, max_value=10.0),
     )
     def test_training_error_below_mean_predictor(self, seed, lam):
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         x = np.column_stack([np.ones(80), rng.normal(size=(80, 3))])
         w = rng.normal(size=4)
         y = x @ w + 0.1 * rng.normal(size=80)
@@ -130,7 +131,7 @@ class TestRidgeProperties:
     @settings(max_examples=25, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=10_000))
     def test_weights_monotone_shrinkage(self, seed):
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         x = np.column_stack([np.ones(60), rng.normal(size=(60, 2))])
         y = rng.normal(size=60)
         norms = [

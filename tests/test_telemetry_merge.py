@@ -1,0 +1,185 @@
+"""Property tests: telemetry merges are exact, associative, commutative.
+
+The campaign engine folds per-task metric sets in whatever order the
+pool finishes them; these properties are what make that fold
+well-defined.  Everything is integer arithmetic by construction (floats
+are quantized to micro-units before observation), so equality here is
+exact — not approximate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSet,
+    _copy_metric,
+    merge_metric_sets,
+    quantize,
+)
+
+_BOUNDS = (2, 5, 10, 100)
+
+
+@st.composite
+def counters(draw):
+    c = Counter("m")
+    c.value = draw(st.integers(min_value=0, max_value=10**12))
+    return c
+
+
+@st.composite
+def gauges(draw):
+    g = Gauge("m")
+    samples = draw(st.lists(
+        st.tuples(st.integers(-10**9, 10**9), st.integers(0, 10**9)),
+        max_size=8,
+    ))
+    for value, stamp in samples:
+        g.set(value, stamp)
+    return g
+
+
+@st.composite
+def histograms(draw):
+    h = Histogram("m", _BOUNDS)
+    for value in draw(st.lists(st.integers(0, 500), max_size=20)):
+        h.observe(value)
+    return h
+
+
+def metrics():
+    return st.one_of(counters(), gauges(), histograms())
+
+
+def _merged(a, b):
+    out = _copy_metric(a)
+    out.merge(b)
+    return out
+
+
+@given(st.one_of(
+    st.tuples(counters(), counters()),
+    st.tuples(gauges(), gauges()),
+    st.tuples(histograms(), histograms()),
+))
+def test_merge_commutative(pair):
+    a, b = pair
+    assert _merged(a, b).to_dict() == _merged(b, a).to_dict()
+
+
+@given(st.one_of(
+    st.tuples(counters(), counters(), counters()),
+    st.tuples(gauges(), gauges(), gauges()),
+    st.tuples(histograms(), histograms(), histograms()),
+))
+def test_merge_associative(triple):
+    a, b, c = triple
+    left = _merged(_merged(a, b), c)
+    right = _merged(a, _merged(b, c))
+    assert left.to_dict() == right.to_dict()
+
+
+@given(metrics())
+def test_merge_identity(metric):
+    empty = type(metric)("m", _BOUNDS) if isinstance(metric, Histogram) \
+        else type(metric)("m")
+    assert _merged(metric, empty).to_dict() == metric.to_dict()
+    assert _merged(empty, metric).to_dict() == metric.to_dict()
+
+
+@given(st.lists(st.floats(-1e3, 1e3), max_size=30))
+def test_quantized_sums_are_exact(values):
+    """Quantizing first makes any summation order give the same total."""
+    q = [quantize(v) for v in values]
+    assert sum(q) == sum(reversed(q))
+
+
+@st.composite
+def metric_sets(draw):
+    s = MetricSet()
+    if draw(st.booleans()):
+        s.metrics["c"] = draw(counters())
+        s.metrics["c"].name = "c"
+    if draw(st.booleans()):
+        s.metrics["g"] = draw(gauges())
+        s.metrics["g"].name = "g"
+    if draw(st.booleans()):
+        s.metrics["h"] = draw(histograms())
+        s.metrics["h"].name = "h"
+    return s
+
+
+@given(st.lists(metric_sets(), min_size=1, max_size=6), st.randoms())
+def test_metric_set_fold_is_order_free(sets, rnd):
+    """Any permutation of the shards folds to the same aggregate."""
+    canonical = merge_metric_sets(sets)
+    shuffled = list(sets)
+    rnd.shuffle(shuffled)
+    assert merge_metric_sets(shuffled).to_dict() == canonical.to_dict()
+
+
+@given(metric_sets())
+def test_metric_set_serialization_round_trips(s):
+    assert MetricSet.from_dict(s.to_dict()).to_dict() == s.to_dict()
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end: the aggregate does not depend on --jobs
+# ---------------------------------------------------------------------- #
+
+
+def test_aggregate_independent_of_jobs(tmp_path):
+    """Serial and parallel fan-out fold to bit-identical aggregates."""
+    from repro.common.config import SimConfig
+    from repro.exec.pool import SimTask, run_sim_tasks
+    from repro.telemetry.io import load_summary
+    from repro.traffic.benchmarks import generate_benchmark_trace
+
+    config = SimConfig(topology="mesh", radix=4, concentration=1,
+                       epoch_cycles=100, horizon_ns=500.0)
+    traces = [
+        generate_benchmark_trace(b, num_cores=16, duration_ns=400.0, seed=0)
+        for b in ("blackscholes", "canneal")
+    ]
+    dirs = {}
+    for jobs in (1, 2):
+        out = tmp_path / f"jobs{jobs}"
+        tasks = [
+            SimTask(policy=p, trace=t, sim=config, telemetry_dir=str(out))
+            for t in traces for p in ("pg", "dozznoc")
+        ]
+        run_sim_tasks(tasks, jobs=jobs)
+        dirs[jobs] = out
+
+    def fold(directory):
+        sets = [load_summary(p)[1]
+                for p in sorted(directory.glob("summary-*.json"))]
+        assert len(sets) == 4
+        return merge_metric_sets(sets).to_dict()
+
+    assert fold(dirs[1]) == fold(dirs[2])
+
+
+def test_weights_do_not_break_pickling_of_tasks():
+    """Sanity: ndarray weights survive the pool's picklability probe."""
+    import pickle
+
+    from repro.common.config import SimConfig
+    from repro.exec.pool import SimTask
+    from repro.traffic.benchmarks import generate_benchmark_trace
+
+    task = SimTask(
+        policy="dozznoc",
+        trace=generate_benchmark_trace("canneal", num_cores=16,
+                                       duration_ns=100.0, seed=0),
+        sim=SimConfig(topology="mesh", radix=4, concentration=1),
+        weights=np.array([0.05, 0.01, 0.01, -0.002, 0.8]),
+        telemetry_dir="never-written",  # only pickled, never opened
+    )
+    assert pickle.loads(pickle.dumps(task)).policy == "dozznoc"

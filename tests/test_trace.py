@@ -167,16 +167,14 @@ class TestTraceProperties:
             assert not np.any(tr.src == tr.dst)
 
     @given(trace_entries())
-    def test_npz_roundtrip_property(self, data):
-        import tempfile
-        from pathlib import Path
-
+    def test_npz_roundtrip_property(self, tmp_path_factory, data):
+        # tmp_path is function-scoped and clashes with @given's many
+        # examples; the session-scoped factory hands out a fresh dir.
         n_cores, entries = data
         tr = Trace.from_entries(entries, n_cores)
-        with tempfile.TemporaryDirectory() as tmp:
-            path = Path(tmp) / "t.npz"
-            tr.save_npz(path)
-            back = Trace.load_npz(path)
+        path = tmp_path_factory.mktemp("trace") / "t.npz"
+        tr.save_npz(path)
+        back = Trace.load_npz(path)
         assert np.array_equal(back.src, tr.src)
         assert np.array_equal(back.dst, tr.dst)
         assert np.array_equal(back.kind, tr.kind)
