@@ -61,3 +61,22 @@ def ns_to_ticks(t_ns: float) -> int:
 def ticks_to_ns(ticks: int) -> float:
     """Convert a base-tick count back to nanoseconds."""
     return ticks / BASE_TICKS_PER_NS
+
+
+# --------------------------------------------------------------------- #
+# Exact fixed-point micro-units
+# --------------------------------------------------------------------- #
+# Shared by the telemetry layer (repro.telemetry.metrics re-exports both
+# names) and the model-lifecycle layer (drift scores, shadow errors):
+# float observations quantized to integer micro-units accumulate with
+# exact integer adds, so aggregates merge associatively and are
+# independent of --jobs and merge order.
+
+#: Fixed-point scale for float-valued observations (micro-units): a
+#: utilization of 0.25 is observed as 250_000.
+MICRO = 1_000_000
+
+
+def quantize(value: float) -> int:
+    """Round a float to integer micro-units (exact-merge representation)."""
+    return round(value * MICRO)

@@ -58,6 +58,10 @@ class PowerPolicy:
                     f"{self.feature_set.name!r}"
                 )
             self.weights = weights
+        # Raw prediction from the most recent select_mode_index call, so
+        # observers (telemetry) reuse it instead of repeating the dot
+        # product on the hot path.  None until the first decision.
+        self.last_prediction: float | None = None
         # Optional V/F-ladder restriction (granularity ablations): the
         # threshold choice is rounded *up* to the nearest allowed mode so a
         # coarser ladder never under-provisions performance.
@@ -112,6 +116,7 @@ class PowerPolicy:
         garbage.  ``sim`` (optional) receives the fallback count.
         """
         u = self.predict_utilization(router, features)
+        self.last_prediction = u
         if not math.isfinite(u):
             u = router.current_ibu()
             if sim is not None:

@@ -44,13 +44,15 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
 #: run as clean, so they must never be trusted again.  v3: ModelMetrics
 #: gained the graceful-degradation ledger (forced wakes, retransmitted
 #: flits, safe-mode entries, predictor fallbacks) and run keys gained a
-#: fault-configuration digest.
-SCHEMA_VERSION = 3
+#: fault-configuration digest.  v4: run keys gained the served model's
+#: registry fingerprint and the online-learning configuration digest, so
+#: cached results can never mix model versions or online/offline runs.
+SCHEMA_VERSION = 4
 
 #: Modules whose source determines simulation results.  Editing any of
 #: these changes the code-version digest and invalidates cached runs.
 #: ``tests/test_versioned_modules.py`` asserts this set covers everything
-#: :mod:`repro.noc.simulator` imports (transitively, one level).
+#: :mod:`repro.noc.simulator` imports, transitively to a fixpoint.
 _VERSIONED_MODULES: tuple[str, ...] = (
     "repro.common.config",
     "repro.common.errors",
@@ -64,6 +66,17 @@ _VERSIONED_MODULES: tuple[str, ...] = (
     "repro.faults",
     "repro.faults.config",
     "repro.faults.scheduler",
+    # repro.models is versioned wholesale: online learning and drift
+    # actions change results directly; the registry decides which weights
+    # a campaign serves; shadow/gates ride along for safety even though
+    # they are observe-only.
+    "repro.models",
+    "repro.models.drift",
+    "repro.models.gates",
+    "repro.models.online",
+    "repro.models.registry",
+    "repro.models.shadow",
+    "repro.models.store",
     "repro.noc.buffer",
     "repro.noc.network",
     "repro.noc.packet",
@@ -122,12 +135,20 @@ def run_key(
     feature_names: tuple[str, ...],
     feature_set_name: str,
     faults: "object | None" = None,
+    model: str | None = None,
+    online: "object | None" = None,
 ) -> str:
     """The content address of one (policy, trace, config, weights) run.
 
     ``faults`` is an optional :class:`repro.faults.FaultConfig`; fault
     injection changes results, so faulted and clean runs of the same
-    task must never share a cache entry.
+    task must never share a cache entry.  ``model`` is the registry
+    fingerprint of a served model (weights are byte-keyed regardless,
+    but the fingerprint pins the registry *version* so two models that
+    happen to share weights still never alias).  ``online`` is an
+    optional :class:`repro.models.OnlineConfig`; online learning evolves
+    the policy mid-run, so online and frozen runs must never share an
+    entry either.
     """
     parts = [
         f"schema={SCHEMA_VERSION}",
@@ -138,6 +159,8 @@ def run_key(
         f"trace={trace_fingerprint(trace)}",
         f"weights={_weights_digest(weights)}",
         f"faults={'none' if faults is None else faults.fingerprint()}",
+        f"model={'none' if model is None else model}",
+        f"online={'none' if online is None else online.fingerprint()}",
     ]
     return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()[:24]
 

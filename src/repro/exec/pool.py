@@ -45,6 +45,7 @@ from repro.core.features import FULL_FEATURES, REDUCED_FEATURES, FeatureSet
 from repro.exec.cache import RunCache, run_key
 from repro.exec.journal import CampaignJournal
 from repro.faults import FaultConfig
+from repro.models.online import OnlineConfig
 from repro.ml.training import (
     DEFAULT_LAMBDAS,
     TrainingResult,
@@ -148,6 +149,19 @@ class SimTask:
     #: key — a cache hit skips the simulation and therefore emits no
     #: fresh series (the campaign aggregate counts it as cached).
     telemetry_dir: str | None = None
+    #: Registry fingerprint of the served model, when ``weights`` came
+    #: from :class:`repro.models.ModelRegistry` (changes the cache key:
+    #: two registered models must never alias, even with equal weights).
+    model_fingerprint: str | None = None
+    #: Optional online-learning configuration; the learner evolves the
+    #: policy mid-run, so it changes results and joins the cache key.
+    online: OnlineConfig | None = None
+    #: Optional candidate weights scored in shadow.  Shadow evaluation
+    #: observes the run without changing it, so — like telemetry — it is
+    #: **not** part of the cache key; a cache hit simply contributes no
+    #: shadow samples, which the promotion gate treats as insufficient
+    #: evidence.
+    shadow_weights: np.ndarray | None = None
 
     def cache_key(self) -> str:
         """Content address of this task's result."""
@@ -155,6 +169,7 @@ class SimTask:
         return run_key(
             self.policy, self.trace, self.sim, self.weights, fs.names,
             fs.name, faults=self.faults,
+            model=self.model_fingerprint, online=self.online,
         )
 
 
@@ -189,9 +204,16 @@ def execute_sim_task(task: SimTask) -> "ModelMetrics":
         from repro.telemetry import TelemetryRecorder
 
         telemetry = TelemetryRecorder()
+    shadow = None
+    if task.shadow_weights is not None:
+        from repro.models.shadow import ShadowScorer
+
+        shadow = ShadowScorer(
+            task.shadow_weights, incumbent_weights=task.weights
+        )
     result = run_simulation(
         task.sim, task.trace, policy, audit=audit, faults=task.faults,
-        telemetry=telemetry,
+        telemetry=telemetry, online=task.online, shadow=shadow,
     )
     if telemetry is not None:
         from repro.telemetry import write_series, write_summary

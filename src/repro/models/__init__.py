@@ -1,0 +1,46 @@
+"""Model lifecycle subsystem: registry, online learning, shadow eval, drift.
+
+The offline pipeline (:mod:`repro.ml`) produces a bare weight vector; this
+package gives that vector a *lifecycle*:
+
+* :mod:`repro.models.store` / :mod:`repro.models.registry` — content-
+  addressed, integrity-checked model artifacts with metadata (feature
+  schema, epoch size, training-trace fingerprints, lambda, validation
+  scores) and an active-model pointer per policy,
+* :mod:`repro.models.online` — a deterministic recursive-least-squares
+  ridge learner updating per-epoch from the same (features, future-IBU)
+  pairs the offline pipeline exports,
+* :mod:`repro.models.shadow` — a candidate model scored in shadow against
+  the incumbent (predictions recorded, never acted on),
+* :mod:`repro.models.gates` — the promotion gate turning shadow scores
+  into a promote/reject decision with explicit margins,
+* :mod:`repro.models.drift` — per-feature input-drift monitoring in the
+  telemetry layer's exact-integer micro-unit arithmetic.
+
+Everything that can change a simulation's results (the online learner and
+its drift-triggered actions, a registered model's weights) participates in
+the run-cache key; everything observe-only (shadow scoring, drift *stats*)
+deliberately does not, mirroring how telemetry is kept out of the key.
+"""
+
+from repro.models.drift import DriftMonitor, RunningMoments
+from repro.models.gates import PromotionDecision, PromotionGate
+from repro.models.online import OnlineConfig, OnlineRidge, batch_predict
+from repro.models.registry import ModelRecord, ModelRegistry, feature_schema_hash
+from repro.models.shadow import ShadowScorer
+from repro.models.store import ModelStore
+
+__all__ = [
+    "DriftMonitor",
+    "RunningMoments",
+    "PromotionDecision",
+    "PromotionGate",
+    "OnlineConfig",
+    "OnlineRidge",
+    "batch_predict",
+    "ModelRecord",
+    "ModelRegistry",
+    "feature_schema_hash",
+    "ShadowScorer",
+    "ModelStore",
+]

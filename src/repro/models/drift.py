@@ -1,0 +1,153 @@
+"""Per-feature input-drift monitoring in exact-integer micro-units.
+
+Follows the telemetry layer's arithmetic discipline
+(:mod:`repro.telemetry.metrics`): every observation is quantised to an
+integer number of micro-units and accumulated with exact integer adds,
+so accumulator state is associative and commutative under
+:meth:`RunningMoments.merge` and identical regardless of ``--jobs`` or
+merge order.  Floats appear only at the very end, when a window closes
+and a score is derived from already-exact integers — a deterministic
+function of deterministic inputs.
+
+The monitor compares each tumbling window of ``window`` observations
+against a frozen reference (the *first* window seen, i.e. the input
+distribution the warm-start model first encountered).  The score for
+feature ``j`` is the absolute mean shift in units of the reference
+standard deviation::
+
+    score_j = |mean_win(j) - mean_ref(j)| / max(std_ref(j), eps)
+
+An alert fires when any feature's score exceeds the configured
+threshold; the caller (the simulator's epoch hook) counts it and applies
+the configured action (none / learner reset / reactive fallback).
+"""
+
+from __future__ import annotations
+
+from repro.common.units import MICRO, quantize
+
+# Floor on the reference std-dev so a near-constant feature (e.g. the
+# bias column, std exactly 0) cannot produce unbounded scores: one
+# micro-unit, the smallest representable spread.
+_EPS_MICRO = 1
+
+
+class RunningMoments:
+    """Exact integer (count, Σx, Σx²) accumulator in micro-units."""
+
+    __slots__ = ("count", "sum_micro", "sumsq_micro")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum_micro = 0
+        self.sumsq_micro = 0
+
+    def observe_micro(self, value_micro: int) -> None:
+        self.count += 1
+        self.sum_micro += value_micro
+        self.sumsq_micro += value_micro * value_micro
+
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """Associative, commutative combination (exact integer adds)."""
+        out = RunningMoments()
+        out.count = self.count + other.count
+        out.sum_micro = self.sum_micro + other.sum_micro
+        out.sumsq_micro = self.sumsq_micro + other.sumsq_micro
+        return out
+
+    def mean(self) -> float:
+        """Mean in natural units (float only at the read side)."""
+        if self.count == 0:
+            return 0.0
+        return self.sum_micro / (self.count * MICRO)
+
+    def variance(self) -> float:
+        """Population variance in natural units, clamped at zero."""
+        if self.count == 0:
+            return 0.0
+        n = self.count
+        # n²·Var = n·Σx² - (Σx)², exact in integers before the divide.
+        num = n * self.sumsq_micro - self.sum_micro * self.sum_micro
+        if num < 0:
+            num = 0
+        return num / (n * n * MICRO * MICRO)
+
+    def std(self) -> float:
+        return self.variance() ** 0.5
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.count, self.sum_micro, self.sumsq_micro)
+
+
+class DriftMonitor:
+    """Tumbling-window feature-drift detector.
+
+    The first ``window`` observations freeze the reference; each later
+    full window is scored against it and then discarded.  ``observe``
+    returns the configured action string when that window alerts, else
+    ``None``.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        threshold: float,
+        window: int,
+        action: str = "none",
+    ) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        if threshold <= 0.0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.n_features = int(n_features)
+        self.threshold = float(threshold)
+        self.window = int(window)
+        self.action = action
+        self.reference: list[RunningMoments] | None = None
+        self._ref_building = [RunningMoments() for _ in range(n_features)]
+        self._current = [RunningMoments() for _ in range(n_features)]
+        self.observed = 0
+        self.skipped = 0
+        self.alerts = 0
+        self.last_scores: tuple[float, ...] = ()
+
+    def observe(self, features) -> str | None:
+        """Fold in one epoch's clean feature vector.
+
+        Non-finite vectors (possible only upstream of the fault layer by
+        construction, but guarded anyway) are skipped and counted.
+        """
+        try:
+            row = [quantize(float(v)) for v in features]
+        except (ValueError, OverflowError):
+            self.skipped += 1
+            return None
+        self.observed += 1
+        if self.reference is None:
+            for acc, v in zip(self._ref_building, row):
+                acc.observe_micro(v)
+            if self._ref_building[0].count >= self.window:
+                self.reference = self._ref_building
+            return None
+        for acc, v in zip(self._current, row):
+            acc.observe_micro(v)
+        if self._current[0].count < self.window:
+            return None
+        scores = []
+        for ref, cur in zip(self.reference, self._current):
+            shift_micro = abs(
+                cur.sum_micro * ref.count - ref.sum_micro * cur.count
+            )
+            # std in micro-units, floored at one micro-unit.
+            std_micro = max(ref.std() * MICRO, float(_EPS_MICRO))
+            scores.append(
+                shift_micro / (ref.count * cur.count * std_micro)
+            )
+        self.last_scores = tuple(scores)
+        self._current = [RunningMoments() for _ in range(self.n_features)]
+        if max(scores) > self.threshold:
+            self.alerts += 1
+            return self.action
+        return None

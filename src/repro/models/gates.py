@@ -1,0 +1,163 @@
+"""Promotion gate: turn shadow scores into a promote/reject decision.
+
+A candidate is promoted only when all three hold over the shadow window:
+
+1. **Enough evidence** — at least ``window`` scored prediction pairs.
+   Cache hits emit no fresh shadow samples, so an all-cached campaign
+   yields an *insufficient-evidence rejection*, never a promotion.
+2. **Meaningful margin** — the candidate's mean absolute prediction
+   error improves on the incumbent's by at least
+   ``min_rel_improvement`` (relative).
+3. **Statistical significance** — a one-sided sign test on per-pair
+   wins: under H₀ (candidate no better), wins ~ Binomial(n, ½); the
+   normal-approximation z-score ``(wins − n/2) / √(n/4)`` must reach
+   ``confidence_z`` (default 1.645 ≈ one-sided 95%).
+
+The sign test needs only the integer win counter, so the decision is a
+deterministic function of the merge-associative shadow accumulators —
+identical across ``--jobs`` and merge orders.  Every margin that fed the
+decision is carried in :class:`PromotionDecision` and logged to
+``campaign-summary.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.common.units import MICRO
+from repro.models.shadow import SHADOW_COUNTERS
+
+
+@dataclasses.dataclass(frozen=True)
+class PromotionDecision:
+    """The gate's verdict plus every margin that produced it."""
+
+    promoted: bool
+    reason: str
+    scored: int
+    window: int
+    candidate_mean_abs_err: float
+    incumbent_mean_abs_err: float
+    rel_improvement: float
+    win_rate: float
+    z_score: float
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class PromotionGate:
+    """Configurable promote/reject policy over shadow accumulators."""
+
+    window: int = 64
+    min_rel_improvement: float = 0.02
+    confidence_z: float = 1.645
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.min_rel_improvement < 0.0:
+            raise ValueError(
+                "min_rel_improvement must be >= 0, "
+                f"got {self.min_rel_improvement}"
+            )
+        if self.confidence_z < 0.0:
+            raise ValueError(
+                f"confidence_z must be >= 0, got {self.confidence_z}"
+            )
+
+    def evaluate(
+        self,
+        scored: int,
+        candidate_abs_err_micro: int,
+        incumbent_abs_err_micro: int,
+        candidate_wins: int,
+    ) -> PromotionDecision:
+        """Judge a candidate from the integer shadow accumulators."""
+        if scored < self.window:
+            return self._reject(
+                f"insufficient shadow evidence: {scored} scored pairs "
+                f"< window {self.window}",
+                scored, candidate_abs_err_micro,
+                incumbent_abs_err_micro, candidate_wins,
+            )
+        cand_mean = candidate_abs_err_micro / (scored * MICRO)
+        inc_mean = incumbent_abs_err_micro / (scored * MICRO)
+        if inc_mean <= 0.0:
+            return self._reject(
+                "incumbent error is already zero; nothing to improve",
+                scored, candidate_abs_err_micro,
+                incumbent_abs_err_micro, candidate_wins,
+            )
+        rel = (inc_mean - cand_mean) / inc_mean
+        win_rate = candidate_wins / scored
+        z = (candidate_wins - scored / 2.0) / math.sqrt(scored / 4.0)
+        if rel < self.min_rel_improvement:
+            verdict, reason = False, (
+                f"relative improvement {rel:.4f} below required "
+                f"{self.min_rel_improvement:.4f}"
+            )
+        elif z < self.confidence_z:
+            verdict, reason = False, (
+                f"sign-test z={z:.3f} below confidence threshold "
+                f"{self.confidence_z:.3f} "
+                f"(wins {candidate_wins}/{scored})"
+            )
+        else:
+            verdict, reason = True, (
+                f"candidate improves mean abs error by {rel:.1%} "
+                f"with win rate {win_rate:.1%} (z={z:.3f}) "
+                f"over {scored} shadow pairs"
+            )
+        return PromotionDecision(
+            promoted=verdict,
+            reason=reason,
+            scored=scored,
+            window=self.window,
+            candidate_mean_abs_err=cand_mean,
+            incumbent_mean_abs_err=inc_mean,
+            rel_improvement=rel,
+            win_rate=win_rate,
+            z_score=z,
+        )
+
+    def evaluate_metrics(self, metrics) -> PromotionDecision:
+        """Judge from a merged telemetry :class:`MetricSet`.
+
+        Missing counters read as zero, which lands in the
+        insufficient-evidence branch.
+        """
+        def counter(name: str) -> int:
+            metric = metrics.metrics.get(name)
+            return int(metric.value) if metric is not None else 0
+
+        scored_name, cand_name, inc_name, wins_name, _ = SHADOW_COUNTERS
+        return self.evaluate(
+            counter(scored_name),
+            counter(cand_name),
+            counter(inc_name),
+            counter(wins_name),
+        )
+
+    def _reject(
+        self,
+        reason: str,
+        scored: int,
+        candidate_abs_err_micro: int,
+        incumbent_abs_err_micro: int,
+        candidate_wins: int,
+    ) -> PromotionDecision:
+        denom = max(scored, 1)
+        return PromotionDecision(
+            promoted=False,
+            reason=reason,
+            scored=scored,
+            window=self.window,
+            candidate_mean_abs_err=candidate_abs_err_micro / (denom * MICRO),
+            incumbent_mean_abs_err=incumbent_abs_err_micro / (denom * MICRO),
+            rel_improvement=0.0,
+            win_rate=candidate_wins / denom,
+            z_score=0.0,
+        )

@@ -1,0 +1,253 @@
+"""Deterministic online ridge regression (recursive least squares).
+
+The offline pipeline solves ``(XᵀX + λI) w = Xᵀy`` once per training run
+(:func:`repro.ml.ridge.fit_ridge`).  :class:`OnlineRidge` maintains the
+same normal equations incrementally so the predictor can keep learning
+*inside* a simulation, one (features, next-epoch IBU) pair per epoch —
+the exact supervision pairs ``NetworkStats.record_epoch_features``
+exports for offline training.
+
+Exactness contract: starting cold with forgetting factor 1.0, a single
+``partial_fit(X, y)`` reproduces :func:`fit_ridge` bit-for-bit.  The
+accumulator is seeded with ``λI`` and the batch update adds ``XᵀX``
+elementwise, so the Gram matrix is ``λI + XᵀX`` — equal bitwise to
+fit_ridge's ``XᵀX + λI`` because IEEE-754 addition commutes — and both
+sides call the same ``np.linalg.solve``.  A property test in
+``tests/test_models_online.py`` pins this down.
+
+Divergence safety: if the solve fails or yields non-finite weights, the
+learner freezes and exposes all-NaN weights.  The controller's existing
+non-finite fallback (``select_mode_index``) then degrades every
+subsequent decision to the measured-IBU reactive policy — the same path
+that guards fault-corrupted features — so a diverging learner can slow
+the policy down but never corrupt mode selection.
+
+:func:`batch_predict` is the row-stable batched inference primitive used
+by the shadow scorer: columnwise elementwise accumulation guarantees row
+``i`` of the output is bit-identical regardless of how many other rows
+share the batch (BLAS ``X @ w`` does not guarantee this — measured on
+this platform, dgemv and per-row ddot disagree in the last ulp).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+_DRIFT_ACTIONS = ("none", "reset", "fallback")
+
+
+@dataclasses.dataclass(frozen=True)
+class OnlineConfig:
+    """Declarative online-learning setup; participates in run-cache keys.
+
+    Attributes
+    ----------
+    lam:
+        Ridge penalty seeding the Gram accumulator (``λI``).  Must be
+        positive so the normal equations stay well-posed from the first
+        update.
+    forgetting:
+        Exponential forgetting factor in ``(0, 1]``.  1.0 accumulates
+        forever (and makes the learner exactly equivalent to batch
+        ridge); smaller values discount old epochs, tracking workload
+        shift at the cost of variance.
+    warmup_updates:
+        Number of updates before learned weights replace the warm-start
+        weights in the live policy.  Until then the policy keeps acting
+        on its initial (offline-trained) weights.
+    drift_threshold:
+        Feature-drift score above which the drift monitor alerts; 0
+        disables drift monitoring entirely.
+    drift_action:
+        What an alert does: ``"none"`` (count only), ``"reset"`` (reset
+        the learner to its warm start), ``"fallback"`` (drop the policy
+        to reactive mode and halt learning).
+    drift_window:
+        Number of observations per tumbling drift window (and in the
+        initial reference window).
+    """
+
+    lam: float = 1e-2
+    forgetting: float = 1.0
+    warmup_updates: int = 8
+    drift_threshold: float = 0.0
+    drift_action: str = "none"
+    drift_window: int = 64
+
+    def __post_init__(self) -> None:
+        if not (self.lam > 0.0 and np.isfinite(self.lam)):
+            raise ValueError(f"lam must be finite and positive, got {self.lam}")
+        if not (0.0 < self.forgetting <= 1.0):
+            raise ValueError(
+                f"forgetting must be in (0, 1], got {self.forgetting}"
+            )
+        if self.warmup_updates < 1:
+            raise ValueError(
+                f"warmup_updates must be >= 1, got {self.warmup_updates}"
+            )
+        if self.drift_threshold < 0.0 or not np.isfinite(self.drift_threshold):
+            raise ValueError(
+                f"drift_threshold must be finite and >= 0, got {self.drift_threshold}"
+            )
+        if self.drift_action not in _DRIFT_ACTIONS:
+            raise ValueError(
+                f"drift_action must be one of {_DRIFT_ACTIONS}, "
+                f"got {self.drift_action!r}"
+            )
+        if self.drift_window < 2:
+            raise ValueError(
+                f"drift_window must be >= 2, got {self.drift_window}"
+            )
+
+    def fingerprint(self) -> str:
+        """Stable short digest for run-cache keys and logs."""
+        payload = json.dumps(
+            dataclasses.asdict(self), sort_keys=True, default=repr
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class OnlineRidge:
+    """Recursive-least-squares ridge with exponential forgetting.
+
+    State is the normal-equation accumulators ``A`` (Gram, seeded ``λI``)
+    and ``b`` (cross-moment).  Each update decays both by the forgetting
+    factor, adds the rank-1 contribution of one sample, and re-solves.
+    Updates arrive in deterministic epoch-boundary order inside one
+    simulation, so results are independent of ``--jobs``.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        config: OnlineConfig,
+        warm_weights: np.ndarray | None = None,
+    ) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        self.n_features = int(n_features)
+        self.config = config
+        if warm_weights is not None:
+            warm_weights = np.asarray(warm_weights, dtype=np.float64).copy()
+            if warm_weights.shape != (self.n_features,):
+                raise ValueError(
+                    f"warm_weights shape {warm_weights.shape} != "
+                    f"({self.n_features},)"
+                )
+        self._warm = warm_weights
+        self.resets = 0
+        self.reset()
+        self.resets = 0  # the constructor's own reset() does not count
+
+    def reset(self) -> None:
+        """Return to the warm start (cold normal equations)."""
+        n = self.n_features
+        lam = self.config.lam
+        self._gram = lam * np.eye(n, dtype=np.float64)
+        if self._warm is None:
+            self._rhs = np.zeros(n, dtype=np.float64)
+            self._weights: np.ndarray | None = None
+        else:
+            # solve(λI, λ·w₀) ≈ w₀: the warm start is the ridge optimum
+            # of the empty dataset, so early updates move away smoothly.
+            self._rhs = lam * self._warm
+            self._weights = self._warm
+        self.updates = 0
+        self.diverged = False
+        self.halted = False
+        self.resets += 1
+
+    def halt(self) -> None:
+        """Stop learning permanently (drift fallback)."""
+        self.halted = True
+
+    @property
+    def weights(self) -> np.ndarray | None:
+        """Current weights for the live policy.
+
+        ``None`` until warm-start/warmup provides something actionable;
+        all-NaN after divergence (driving the controller's reactive
+        fallback).
+        """
+        if self.diverged:
+            return np.full(self.n_features, np.nan)
+        if self.updates < self.config.warmup_updates:
+            return self._warm
+        return self._weights
+
+    def update(self, features: np.ndarray, label: float) -> None:
+        """Fold in one (features, next-epoch IBU) sample and re-solve."""
+        if self.diverged or self.halted:
+            return
+        x = np.asarray(features, dtype=np.float64)
+        f = self.config.forgetting
+        if f != 1.0:
+            self._gram = f * self._gram
+            self._rhs = f * self._rhs
+        self._gram = self._gram + np.outer(x, x)
+        self._rhs = self._rhs + label * x
+        self.updates += 1
+        self._refresh()
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Fold in a whole batch at once.
+
+        From a cold start with forgetting 1.0, one call reproduces
+        :func:`repro.ml.ridge.fit_ridge` bit-for-bit (see module
+        docstring).
+        """
+        if self.diverged or self.halted:
+            return
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"bad batch shapes: x={x.shape} y={y.shape}"
+            )
+        f = self.config.forgetting
+        if f != 1.0:
+            self._gram = f * self._gram
+            self._rhs = f * self._rhs
+        self._gram = self._gram + x.T @ x
+        self._rhs = self._rhs + x.T @ y
+        self.updates += x.shape[0]
+        self._refresh()
+
+    def _refresh(self) -> None:
+        try:
+            w = np.linalg.solve(self._gram, self._rhs)
+        except np.linalg.LinAlgError:
+            w = None
+        if w is None or not np.all(np.isfinite(w)):
+            self.diverged = True
+            self._weights = None
+        else:
+            self._weights = w
+
+
+def batch_predict(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Predict for a batch of feature rows, row-stably.
+
+    Columnwise elementwise accumulation: ``out = Σⱼ x[:, j] · wⱼ`` built
+    left to right.  Each output element sums its own terms in the same
+    order a scalar loop would, so row ``i``'s result never depends on
+    the batch size — the property the shadow scorer's differential tests
+    rely on.  (A BLAS ``x @ weights`` reorders the reduction and is not
+    row-stable; verified empirically on this platform.)
+    """
+    x = np.asarray(x, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if x.ndim != 2 or weights.ndim != 1 or x.shape[1] != weights.shape[0]:
+        raise ValueError(
+            f"bad shapes for batch_predict: x={x.shape} w={weights.shape}"
+        )
+    if x.shape[1] == 0:
+        return np.zeros(x.shape[0], dtype=np.float64)
+    out = x[:, 0] * weights[0]
+    for j in range(1, x.shape[1]):
+        out += x[:, j] * weights[j]
+    return out

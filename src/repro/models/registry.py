@@ -1,0 +1,267 @@
+"""Model registry: versioned, verified, promotable weight artifacts.
+
+A :class:`ModelRecord` pairs a trained weight vector with everything a
+run needs to decide whether the model is *safe to serve*: the feature
+schema it was trained against, the epoch size it assumes, the policy it
+belongs to, the fingerprints of the traces it was trained/validated on,
+the ridge lambda, and the validation scores that justified exporting it.
+
+Fingerprints are content hashes (see :mod:`repro.models.store`), so a
+model reference in a CLI invocation, a campaign config, or a run-cache
+key always pins exact bytes — never "whatever was trained last".  The
+``active.json`` pointer maps each policy name to its currently promoted
+fingerprint; promotion is an atomic pointer swap, and garbage collection
+keeps every active model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ModelError
+from repro.models.store import ModelStore
+
+_ACTIVE_FILE = "active.json"
+
+
+def feature_schema_hash(feature_names) -> str:
+    """Order-sensitive digest of a feature-name tuple."""
+    payload = "\x1f".join(str(n) for n in feature_names)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelRecord:
+    """One registered model: weights plus serving metadata."""
+
+    fingerprint: str
+    policy: str
+    feature_set: str
+    feature_names: tuple[str, ...]
+    feature_schema: str
+    epoch_cycles: int
+    lam: float
+    weights: tuple[float, ...]
+    train_rmse: float
+    validation_rmse: float
+    validation_accuracy: float
+    train_traces: tuple[str, ...]
+    validation_traces: tuple[str, ...]
+    note: str = ""
+
+    def weights_array(self) -> np.ndarray:
+        return np.asarray(self.weights, dtype=np.float64)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _record_payload(record: ModelRecord) -> dict:
+    payload = record.as_dict()
+    del payload["fingerprint"]  # derived from the rest, never stored inside
+    payload["feature_names"] = list(record.feature_names)
+    payload["weights"] = list(record.weights)
+    payload["train_traces"] = list(record.train_traces)
+    payload["validation_traces"] = list(record.validation_traces)
+    return payload
+
+
+def _record_from_payload(fingerprint: str, payload: dict) -> ModelRecord:
+    expected = {f.name for f in dataclasses.fields(ModelRecord)} - {"fingerprint"}
+    got = set(payload)
+    if got != expected:
+        missing = sorted(expected - got)
+        extra = sorted(got - expected)
+        raise ModelError(
+            f"model {fingerprint!r} has a malformed record "
+            f"(missing={missing} extra={extra})"
+        )
+    return ModelRecord(
+        fingerprint=fingerprint,
+        policy=str(payload["policy"]),
+        feature_set=str(payload["feature_set"]),
+        feature_names=tuple(str(n) for n in payload["feature_names"]),
+        feature_schema=str(payload["feature_schema"]),
+        epoch_cycles=int(payload["epoch_cycles"]),
+        lam=float(payload["lam"]),
+        weights=tuple(float(w) for w in payload["weights"]),
+        train_rmse=float(payload["train_rmse"]),
+        validation_rmse=float(payload["validation_rmse"]),
+        validation_accuracy=float(payload["validation_accuracy"]),
+        train_traces=tuple(str(t) for t in payload["train_traces"]),
+        validation_traces=tuple(str(t) for t in payload["validation_traces"]),
+        note=str(payload["note"]),
+    )
+
+
+class ModelRegistry:
+    """Semantic layer over :class:`ModelStore`."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.store = ModelStore(directory)
+
+    # -- registration --------------------------------------------------
+
+    def register(
+        self,
+        *,
+        policy: str,
+        feature_set_name: str,
+        feature_names,
+        epoch_cycles: int,
+        lam: float,
+        weights,
+        train_rmse: float,
+        validation_rmse: float,
+        validation_accuracy: float,
+        train_traces=(),
+        validation_traces=(),
+        note: str = "",
+    ) -> ModelRecord:
+        """Persist one model; idempotent for identical content."""
+        weights = tuple(float(w) for w in np.asarray(weights, dtype=np.float64))
+        if not all(np.isfinite(weights)):
+            raise ModelError(
+                f"refusing to register non-finite weights for {policy!r}"
+            )
+        names = tuple(str(n) for n in feature_names)
+        if len(weights) != len(names):
+            raise ModelError(
+                f"{len(weights)} weights for {len(names)} features"
+            )
+        record = ModelRecord(
+            fingerprint="",
+            policy=str(policy),
+            feature_set=str(feature_set_name),
+            feature_names=names,
+            feature_schema=feature_schema_hash(names),
+            epoch_cycles=int(epoch_cycles),
+            lam=float(lam),
+            weights=weights,
+            train_rmse=float(train_rmse),
+            validation_rmse=float(validation_rmse),
+            validation_accuracy=float(validation_accuracy),
+            train_traces=tuple(str(t) for t in train_traces),
+            validation_traces=tuple(str(t) for t in validation_traces),
+            note=str(note),
+        )
+        fingerprint = self.store.save(_record_payload(record))
+        return dataclasses.replace(record, fingerprint=fingerprint)
+
+    def register_training_result(
+        self,
+        result,
+        config,
+        train_traces=(),
+        validation_traces=(),
+        note: str = "",
+    ) -> ModelRecord:
+        """Register a :class:`repro.ml.training.TrainingResult`."""
+        from repro.traffic.trace import trace_fingerprint
+
+        return self.register(
+            policy=result.policy_name,
+            feature_set_name=result.feature_set_name,
+            feature_names=result.model.feature_names,
+            epoch_cycles=config.epoch_cycles,
+            lam=result.model.lam,
+            weights=result.model.weights,
+            train_rmse=result.train_rmse,
+            validation_rmse=result.validation_rmse,
+            validation_accuracy=result.validation_accuracy,
+            train_traces=tuple(trace_fingerprint(t) for t in train_traces),
+            validation_traces=tuple(
+                trace_fingerprint(t) for t in validation_traces
+            ),
+            note=note,
+        )
+
+    # -- lookup --------------------------------------------------------
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a full fingerprint or unique prefix to a fingerprint."""
+        ref = str(ref).strip()
+        if not ref:
+            raise ModelError("empty model reference")
+        fingerprints = self.store.fingerprints()
+        if ref in fingerprints:
+            return ref
+        matches = [fp for fp in fingerprints if fp.startswith(ref)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ModelError(
+                f"no model matching {ref!r} in {self.store.directory} "
+                f"({len(fingerprints)} registered)"
+            )
+        raise ModelError(
+            f"ambiguous model reference {ref!r}: matches {sorted(matches)}"
+        )
+
+    def get(self, ref: str) -> ModelRecord:
+        """Load (and integrity-check) one model by fingerprint or prefix."""
+        fingerprint = self.resolve(ref)
+        payload = self.store.load(fingerprint)
+        return _record_from_payload(fingerprint, payload)
+
+    def records(self) -> list[ModelRecord]:
+        """All registered models, sorted by fingerprint."""
+        return [self.get(fp) for fp in self.store.fingerprints()]
+
+    # -- promotion -----------------------------------------------------
+
+    def promote(self, ref: str) -> ModelRecord:
+        """Make one model the active model for its policy."""
+        record = self.get(ref)
+        active = self.store.read_json(_ACTIVE_FILE) or {}
+        active[record.policy] = record.fingerprint
+        self.store.write_json(_ACTIVE_FILE, active)
+        return record
+
+    def active(self, policy: str) -> ModelRecord | None:
+        """The promoted model for one policy, if any."""
+        active = self.store.read_json(_ACTIVE_FILE) or {}
+        fingerprint = active.get(policy)
+        if fingerprint is None:
+            return None
+        return self.get(fingerprint)
+
+    def active_map(self) -> dict[str, str]:
+        """policy name -> active fingerprint."""
+        return dict(self.store.read_json(_ACTIVE_FILE) or {})
+
+    # -- maintenance ---------------------------------------------------
+
+    def gc(self) -> list[str]:
+        """Delete every model that is not some policy's active model."""
+        keep = set(self.active_map().values())
+        removed = []
+        for fingerprint in self.store.fingerprints():
+            if fingerprint not in keep:
+                self.store.delete(fingerprint)
+                removed.append(fingerprint)
+        return removed
+
+    # -- serving checks ------------------------------------------------
+
+    def check_compatible(
+        self, record: ModelRecord, feature_set, epoch_cycles: int
+    ) -> None:
+        """Refuse to serve a model into an incompatible run."""
+        schema = feature_schema_hash(feature_set.names)
+        if record.feature_schema != schema:
+            raise ModelError(
+                f"model {record.fingerprint} was trained on feature schema "
+                f"{record.feature_schema} ({record.feature_set}); the run "
+                f"uses schema {schema} — refusing to serve"
+            )
+        if record.epoch_cycles != int(epoch_cycles):
+            raise ModelError(
+                f"model {record.fingerprint} assumes epoch_cycles="
+                f"{record.epoch_cycles}, the run uses {epoch_cycles} — "
+                f"refusing to serve"
+            )

@@ -1,0 +1,157 @@
+"""Shadow evaluation: score a candidate model without acting on it.
+
+Every epoch boundary hands the scorer the router's *clean* feature
+vector (upstream of fault corruption, matching what offline training
+exports) and the measured IBU that doubles as the label for the
+*previous* epoch's prediction at the same router.  The scorer keeps one
+open prediction per router, closes it when that router's next epoch
+arrives, and accumulates absolute prediction error for the candidate
+and the incumbent in exact integer micro-units.
+
+Batched inference (the satellite hot-path optimisation): feature rows
+are buffered and pushed through :func:`batch_predict` — one columnwise
+batched pass instead of a Python-level dot per router.  Because
+``batch_predict`` is row-stable by construction, the flush size is
+unobservable: flushing every row and flushing in batches of 64 produce
+bit-identical accumulators (differential-tested).  A buffered row whose
+score is needed before the buffer fills forces an early flush.
+
+All accumulator state is integer and fed to merge-associative telemetry
+counters, so shadow scores aggregate identically across ``--jobs`` and
+merge orders.  Shadow state is deliberately *not* part of the run-cache
+key — like telemetry, it observes a simulation without changing it; the
+promotion gate therefore treats "no shadow samples" (all legs cache
+hits) as insufficient evidence, never as a pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.units import quantize
+from repro.models.online import batch_predict
+
+#: Telemetry counter names the scorer folds into, in `counter_values` order.
+SHADOW_COUNTERS = (
+    "shadow_scored_total",
+    "shadow_candidate_abs_err_micro",
+    "shadow_incumbent_abs_err_micro",
+    "shadow_candidate_wins_total",
+    "shadow_skipped_total",
+)
+
+
+class ShadowScorer:
+    """Scores candidate-vs-incumbent predictions against measured IBU.
+
+    ``incumbent_weights=None`` models a reactive incumbent: its implicit
+    prediction for the next epoch is the currently measured IBU.
+    """
+
+    def __init__(
+        self,
+        candidate_weights: np.ndarray,
+        incumbent_weights: np.ndarray | None = None,
+        flush_size: int = 64,
+    ) -> None:
+        self.candidate = np.asarray(candidate_weights, dtype=np.float64).copy()
+        if self.candidate.ndim != 1:
+            raise ValueError(
+                f"candidate weights must be 1-D, got shape {self.candidate.shape}"
+            )
+        if incumbent_weights is not None:
+            incumbent_weights = np.asarray(
+                incumbent_weights, dtype=np.float64
+            ).copy()
+            if incumbent_weights.shape != self.candidate.shape:
+                raise ValueError(
+                    f"incumbent shape {incumbent_weights.shape} != "
+                    f"candidate shape {self.candidate.shape}"
+                )
+        self.incumbent = incumbent_weights
+        if flush_size < 1:
+            raise ValueError(f"flush_size must be >= 1, got {flush_size}")
+        self.flush_size = int(flush_size)
+        self._rows: list[np.ndarray] = []
+        self._row_rids: list[int] = []
+        # rid -> ("pending", buffer_index, reactive_inc_pred | None)
+        #      | ("ready", candidate_pred, incumbent_pred)
+        self._open: dict[int, tuple] = {}
+        self.flushes = 0
+        # Exact-integer accumulators (micro-units), merge-associative.
+        self.scored = 0
+        self.candidate_abs_err_micro = 0
+        self.incumbent_abs_err_micro = 0
+        self.candidate_wins = 0
+        self.skipped = 0
+
+    def on_epoch(self, rid: int, features, measured_ibu: float) -> None:
+        """Close the router's previous prediction, open a new one."""
+        entry = self._open.get(rid)
+        if entry is not None:
+            if entry[0] == "pending":
+                self._flush()
+                entry = self._open[rid]
+            _, cand_pred, inc_pred = entry
+            self._score(cand_pred, inc_pred, measured_ibu)
+        reactive_pred = float(measured_ibu) if self.incumbent is None else None
+        self._rows.append(np.asarray(features, dtype=np.float64))
+        self._row_rids.append(rid)
+        self._open[rid] = ("pending", len(self._rows) - 1, reactive_pred)
+        if len(self._rows) >= self.flush_size:
+            self._flush()
+
+    def finalize(self) -> None:
+        """Flush any buffered rows (open predictions stay unscored)."""
+        self._flush()
+
+    def counter_values(self) -> tuple[int, int, int, int, int]:
+        """Values matching :data:`SHADOW_COUNTERS`, in order."""
+        return (
+            self.scored,
+            self.candidate_abs_err_micro,
+            self.incumbent_abs_err_micro,
+            self.candidate_wins,
+            self.skipped,
+        )
+
+    def _flush(self) -> None:
+        if not self._rows:
+            return
+        x = np.vstack(self._rows)
+        cand = batch_predict(x, self.candidate)
+        inc = (
+            batch_predict(x, self.incumbent)
+            if self.incumbent is not None
+            else None
+        )
+        for rid, idx in zip(self._row_rids, range(len(self._rows))):
+            entry = self._open.get(rid)
+            if entry is None or entry[0] != "pending" or entry[1] != idx:
+                continue  # superseded by a newer epoch at this router
+            inc_pred = entry[2] if inc is None else float(inc[idx])
+            self._open[rid] = ("ready", float(cand[idx]), inc_pred)
+        self._rows.clear()
+        self._row_rids.clear()
+        self.flushes += 1
+
+    def _score(
+        self, cand_pred: float, inc_pred: float, actual: float
+    ) -> None:
+        if not (
+            math.isfinite(cand_pred)
+            and math.isfinite(inc_pred)
+            and math.isfinite(actual)
+        ):
+            self.skipped += 1
+            return
+        a = quantize(actual)
+        cand_err = abs(quantize(cand_pred) - a)
+        inc_err = abs(quantize(inc_pred) - a)
+        self.scored += 1
+        self.candidate_abs_err_micro += cand_err
+        self.incumbent_abs_err_micro += inc_err
+        if cand_err < inc_err:
+            self.candidate_wins += 1

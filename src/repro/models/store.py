@@ -1,0 +1,156 @@
+"""Content-addressed on-disk store for model artifacts.
+
+Layout (one directory per registry)::
+
+    <dir>/model-<fingerprint>.json   one artifact per registered model
+    <dir>/active.json                policy name -> active fingerprint
+
+An artifact's fingerprint is the first 16 hex digits of the SHA-256 of
+its canonical record JSON (sorted keys, no timestamps), so registering
+byte-identical content is idempotent and the fingerprint is stable
+across machines.  The full digest is stored alongside and re-derived on
+every load; any corruption — truncation, bit flips, hand edits — raises
+:class:`~repro.common.errors.ModelError` instead of silently serving bad
+weights.
+
+Writes use the same crash-safe discipline as the run cache: write to a
+temp file in the destination directory, fsync, then atomically
+``os.replace`` into place.  A reader never observes a half-written
+artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.common.errors import ModelError
+
+STORE_SCHEMA = 1
+_ARTIFACT_KIND = "dozznoc-model"
+_PREFIX = "model-"
+_SUFFIX = ".json"
+
+
+def canonical_record_json(record: dict) -> str:
+    """Canonical serialisation the fingerprint is derived from."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def record_digest(record: dict) -> str:
+    """Full SHA-256 hex digest of the canonical record JSON."""
+    return hashlib.sha256(canonical_record_json(record).encode()).hexdigest()
+
+
+class ModelStore:
+    """Low-level artifact IO; :class:`ModelRegistry` adds semantics."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"{_PREFIX}{fingerprint}{_SUFFIX}"
+
+    def save(self, record: dict) -> str:
+        """Persist one record dict; returns its fingerprint (idempotent)."""
+        digest = record_digest(record)
+        fingerprint = digest[:16]
+        payload = {
+            "schema": STORE_SCHEMA,
+            "kind": _ARTIFACT_KIND,
+            "fingerprint": fingerprint,
+            "digest": digest,
+            "record": record,
+        }
+        self._atomic_write(
+            self.path_for(fingerprint),
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+        return fingerprint
+
+    def load(self, fingerprint: str) -> dict:
+        """Read and integrity-check one record dict."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            raise ModelError(f"no model {fingerprint!r} in {self.directory}")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ModelError(
+                f"unreadable model artifact {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("kind") != _ARTIFACT_KIND:
+            raise ModelError(f"{path} is not a model artifact")
+        if payload.get("schema") != STORE_SCHEMA:
+            raise ModelError(
+                f"{path} has store schema {payload.get('schema')!r}, "
+                f"expected {STORE_SCHEMA}"
+            )
+        record = payload.get("record")
+        if not isinstance(record, dict):
+            raise ModelError(f"{path} carries no record object")
+        digest = record_digest(record)
+        if digest != payload.get("digest") or digest[:16] != fingerprint:
+            raise ModelError(
+                f"integrity check failed for model {fingerprint!r}: "
+                f"stored digest does not match content"
+            )
+        return record
+
+    def fingerprints(self) -> list[str]:
+        """All stored fingerprints, sorted (no integrity check)."""
+        out = []
+        for path in self.directory.glob(f"{_PREFIX}*{_SUFFIX}"):
+            out.append(path.name[len(_PREFIX):-len(_SUFFIX)])
+        return sorted(out)
+
+    def delete(self, fingerprint: str) -> bool:
+        """Remove one artifact; True if it existed."""
+        try:
+            os.unlink(self.path_for(fingerprint))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def read_json(self, name: str) -> dict | None:
+        """Read an auxiliary JSON file (e.g. the active pointer)."""
+        path = self.directory / name
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ModelError(f"unreadable registry file {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ModelError(f"registry file {path} must hold an object")
+        return payload
+
+    def write_json(self, name: str, payload: dict) -> None:
+        """Atomically (re)write an auxiliary JSON file."""
+        self._atomic_write(
+            self.directory / name,
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

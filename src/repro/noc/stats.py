@@ -66,6 +66,18 @@ class NetworkStats:
     #: Epochs where a non-finite prediction fell back to the threshold
     #: (measured-utilization) policy.
     predictor_fallbacks: int = 0
+    # ------------------------------------------------------------------ #
+    # Model-lifecycle ledger (repro.models; all zero unless online
+    # learning is enabled).  Kept out of summary() deliberately: golden
+    # traces fingerprint the summary, and these counters are surfaced
+    # through telemetry instead.
+    # ------------------------------------------------------------------ #
+    #: Per-epoch RLS updates applied by the online learner.
+    online_updates: int = 0
+    #: Online-learner divergences (non-finite solve froze the learner).
+    online_divergences: int = 0
+    #: Drift-monitor alerts (feature distribution shifted past threshold).
+    drift_alerts: int = 0
     #: Offline-training capture (populated when feature collection is on).
     epoch_records: list[EpochRecord] = field(default_factory=list)
     _open_records: dict[int, EpochRecord] = field(default_factory=dict)

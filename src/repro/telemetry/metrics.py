@@ -28,15 +28,15 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
-#: Fixed-point scale for float-valued observations (micro-units): a
-#: utilization of 0.25 is observed as 250_000.  Quantizing keeps every
-#: histogram sum an exact integer, so merges are associative.
-MICRO = 1_000_000
+# Quantization lives in the leaf module repro.common.units so the
+# model-lifecycle layer (imported by the kernel) can share it without
+# pulling in this package; re-exported here for all existing callers.
+from repro.common.units import MICRO, quantize
 
-
-def quantize(value: float) -> int:
-    """Round a float to integer micro-units (exact-merge representation)."""
-    return round(value * MICRO)
+__all__ = [
+    "MICRO", "quantize", "Counter", "Gauge", "Histogram", "MetricSet",
+    "merge_metric_sets",
+]
 
 
 @dataclass

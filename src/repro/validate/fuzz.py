@@ -38,6 +38,7 @@ from repro.exec.cache import RunCache
 from repro.exec.pool import SimTask, run_sim_tasks
 from repro.experiments.runner import MODEL_NAMES, ModelMetrics
 from repro.faults import FaultConfig
+from repro.models.online import OnlineConfig
 from repro.noc.simulator import Simulator
 from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace
 from repro.validate.invariants import InvariantAuditor, write_artifact
@@ -58,9 +59,14 @@ class FuzzTrial:
     weights: np.ndarray | None  # shared by the ML policies when not None
     #: Deterministic fault injection for every leg (``--faults`` mode).
     faults: FaultConfig | None = None
+    #: Online-learning config for the ML policies (``--online`` mode).
+    online: OnlineConfig | None = None
 
     def weights_for(self, policy: str) -> np.ndarray | None:
         return self.weights if policy in ML_POLICIES else None
+
+    def online_for(self, policy: str) -> OnlineConfig | None:
+        return self.online if policy in ML_POLICIES else None
 
 
 @dataclass(frozen=True)
@@ -104,14 +110,16 @@ class FuzzReport:
 
 
 def build_trial(
-    master_seed: int, index: int, faults: bool = False
+    master_seed: int, index: int, faults: bool = False, online: bool = False
 ) -> FuzzTrial:
     """Draw trial ``index``'s configuration and trace, deterministically.
 
     ``faults`` additionally draws a random :class:`FaultConfig` applied
-    to every leg of the trial.  The fault draws happen *after* all other
-    draws, so ``faults=False`` trials are bit-identical to the historical
-    schedule for the same ``(master_seed, index)``.
+    to every leg of the trial; ``online`` additionally draws a random
+    :class:`OnlineConfig` for the ML policies.  Each optional draw block
+    happens *after* all earlier draws (faults, then online), so disabling
+    a flag keeps trials bit-identical to the historical schedule for the
+    same ``(master_seed, index)``.
     """
     rng = np.random.default_rng((master_seed, index))
     if rng.random() < 0.25:
@@ -171,6 +179,16 @@ def build_trial(
             link_max_retries=int(rng.integers(1, 5)),
             feature_corrupt_rate=float(rng.uniform(0.0, 0.1)),
         )
+    online_config = None
+    if online and rng.random() < 0.8:
+        online_config = OnlineConfig(
+            lam=10.0 ** float(rng.integers(-3, 2)),
+            forgetting=float(rng.choice([1.0, 0.999, 0.99, 0.95])),
+            warmup_updates=int(rng.integers(1, 6)),
+            drift_threshold=float(rng.choice([0.0, 2.0, 4.0])),
+            drift_action=str(rng.choice(["none", "reset", "fallback"])),
+            drift_window=int(rng.integers(4, 40)),
+        )
     return FuzzTrial(
         index=index,
         master_seed=master_seed,
@@ -178,6 +196,7 @@ def build_trial(
         trace=trace,
         weights=weights,
         faults=fault_config,
+        online=online_config,
     )
 
 
@@ -199,6 +218,7 @@ def run_fuzz(
     replay: int | None = None,
     progress: Callable[[str], None] | None = None,
     faults: bool = False,
+    online: bool = False,
 ) -> FuzzReport:
     """Run a fuzz session and return its report.
 
@@ -222,6 +242,11 @@ def run_fuzz(
         Draw a random :class:`FaultConfig` per trial and inject it into
         every leg — the differential then also proves the graceful
         degradation paths are deterministic and cache-safe.
+    online:
+        Draw a random :class:`OnlineConfig` per trial for the ML
+        policies — the differential then also proves per-epoch online
+        learning (including drift resets and fallbacks) is deterministic
+        and cache-safe.
     """
     report = FuzzReport(master_seed=seed, trials_run=0, runs=0, epoch_audits=0)
     indices = [replay] if replay is not None else list(range(trials))
@@ -230,7 +255,7 @@ def run_fuzz(
     with tempfile.TemporaryDirectory(prefix="fuzz-runcache-") as tmp:
         cache = RunCache(Path(tmp))
         for index in indices:
-            trial = build_trial(seed, index, faults=faults)
+            trial = build_trial(seed, index, faults=faults, online=online)
             report.trials_run += 1
             ok_serial = _serial_leg(trial, report, artifact_dir)
             if ok_serial:
@@ -280,7 +305,7 @@ def _serial_leg(
         try:
             result = Simulator(
                 trial.config, trial.trace, policy, audit=auditor,
-                faults=trial.faults,
+                faults=trial.faults, online=trial.online_for(policy_name),
             ).run()
         except AuditError as err:
             report.failures.append(
@@ -301,6 +326,7 @@ def _serial_leg(
             weights=weights,
             audit=True,
             faults=trial.faults,
+            online=trial.online_for(policy_name),
         )
         ok[policy_name] = (task, ModelMetrics.from_result(result))
     return ok
@@ -330,6 +356,10 @@ def _record_mismatch(
             "faults": (
                 None if trial.faults is None
                 else dataclasses.asdict(trial.faults)
+            ),
+            "online": (
+                None if trial.online is None
+                else dataclasses.asdict(trial.online)
             ),
             "expected": dataclasses.asdict(expected),
             "got": dataclasses.asdict(got),

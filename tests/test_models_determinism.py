@@ -1,0 +1,153 @@
+"""Online learning must be bit-deterministic across every execution path.
+
+Same discipline as the fault-injection determinism suite: the serial
+in-process run, the worker-pool run (any ``jobs``), and the cache
+miss/hit round-trip must all produce *identical* ``ModelMetrics`` for an
+online-learning task — otherwise run caching and ``--jobs`` would change
+results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.exec.cache import RunCache
+from repro.exec.pool import SimTask, run_sim_tasks
+from repro.experiments.runner import ModelMetrics
+from repro.models import OnlineConfig, OnlineRidge
+from repro.noc.simulator import Simulator, run_simulation
+from repro.traffic.benchmarks import generate_benchmark_trace
+
+_CONFIG = SimConfig(
+    topology="mesh", radix=4, concentration=1,
+    epoch_cycles=80, horizon_ns=1_200.0,
+)
+_WEIGHTS = np.array([0.05, 0.01, 0.01, -0.002, 0.8])
+_ONLINE = OnlineConfig(
+    lam=0.01, forgetting=0.99, warmup_updates=4,
+    drift_threshold=3.0, drift_action="reset", drift_window=8,
+)
+
+
+def _trace(seed=3):
+    return generate_benchmark_trace(
+        "canneal", num_cores=_CONFIG.num_cores, duration_ns=900.0, seed=seed,
+    )
+
+
+def _tasks():
+    return [
+        SimTask(
+            policy=policy, trace=_trace(seed), sim=_CONFIG,
+            weights=_WEIGHTS, online=_ONLINE, audit=True,
+        )
+        for policy in ("dozznoc", "lead")
+        for seed in (3, 4)
+    ]
+
+
+def _serial_metrics():
+    out = []
+    for task in _tasks():
+        policy = make_policy(task.policy, weights=task.weights)
+        result = Simulator(
+            task.sim, task.trace, policy, online=task.online
+        ).run()
+        out.append(ModelMetrics.from_result(result))
+    return out
+
+
+def test_online_repeat_runs_are_bit_identical():
+    a, b = _serial_metrics(), _serial_metrics()
+    assert a == b
+
+
+def test_online_changes_results_vs_frozen():
+    # Learning must actually do something, or this whole suite is vacuous.
+    task = _tasks()[0]
+    frozen = Simulator(
+        task.sim, task.trace, make_policy(task.policy, weights=task.weights)
+    ).run()
+    online = Simulator(
+        task.sim, task.trace, make_policy(task.policy, weights=task.weights),
+        online=task.online,
+    ).run()
+    assert online.stats.online_updates > 0
+    assert ModelMetrics.from_result(online) != ModelMetrics.from_result(frozen)
+
+
+def test_online_jobs1_vs_jobs4_bit_identical():
+    tasks = _tasks()
+    serial = run_sim_tasks(tasks, jobs=1)
+    parallel = run_sim_tasks(tasks, jobs=4)
+    assert serial == parallel
+    assert serial == _serial_metrics()
+
+
+def test_online_cache_miss_then_hit_bit_identical(tmp_path):
+    tasks = _tasks()
+    cache = RunCache(tmp_path / "runs")
+    miss = run_sim_tasks(tasks, jobs=1, cache=cache)
+    assert cache.misses == len(tasks) and cache.hits == 0
+    hit = run_sim_tasks(tasks, jobs=1, cache=cache)
+    assert cache.hits == len(tasks)
+    assert miss == hit == _serial_metrics()
+
+
+def test_online_and_frozen_tasks_never_share_cache_entries(tmp_path):
+    task = _tasks()[0]
+    frozen = SimTask(
+        policy=task.policy, trace=task.trace, sim=task.sim,
+        weights=task.weights,
+    )
+    assert task.cache_key() != frozen.cache_key()
+    cache = RunCache(tmp_path / "runs")
+    run_sim_tasks([task], jobs=1, cache=cache)
+    run_sim_tasks([frozen], jobs=1, cache=cache)
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_shadow_scoring_does_not_change_results():
+    # Shadow evaluation is observe-only by contract; attaching a scorer
+    # must leave the simulation bit-identical.
+    from repro.models import ShadowScorer
+
+    task = _tasks()[0]
+    plain = run_simulation(
+        task.sim, task.trace, make_policy(task.policy, weights=task.weights)
+    )
+    shadow = ShadowScorer(np.array([0.0, 0.0, 0.0, 0.0, 1.0]),
+                          incumbent_weights=task.weights)
+    observed = run_simulation(
+        task.sim, task.trace, make_policy(task.policy, weights=task.weights),
+        shadow=shadow,
+    )
+    assert ModelMetrics.from_result(plain) == ModelMetrics.from_result(observed)
+    assert shadow.counter_values()[0] > 0
+
+
+def test_drift_reset_path_is_deterministic():
+    # The reset action rebuilds learner state mid-run; two identical
+    # runs must still agree bitwise, and the learner must have reset.
+    trace = _trace()
+    config = OnlineConfig(
+        warmup_updates=1, drift_threshold=1e-3,
+        drift_action="reset", drift_window=4,
+    )
+
+    def run():
+        sim = Simulator(
+            _CONFIG, trace, make_policy("dozznoc", weights=_WEIGHTS),
+            online=config,
+        )
+        result = sim.run()
+        return ModelMetrics.from_result(result), result.stats.drift_alerts, sim
+
+    (m1, alerts1, sim1), (m2, alerts2, _) = run(), run()
+    assert m1 == m2
+    assert alerts1 == alerts2 >= 1
+    assert isinstance(sim1.online, OnlineRidge)
+    assert sim1.online.resets >= 1

@@ -1,0 +1,142 @@
+"""Drift monitor: exact-integer moments, merge algebra, alert semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import MICRO, quantize
+from repro.models import DriftMonitor, RunningMoments
+
+_micro_values = st.lists(
+    st.integers(-10 * MICRO, 10 * MICRO), min_size=0, max_size=30
+)
+
+
+def _fold(values) -> RunningMoments:
+    acc = RunningMoments()
+    for v in values:
+        acc.observe_micro(v)
+    return acc
+
+
+class TestRunningMoments:
+    @settings(deadline=None, max_examples=60)
+    @given(a=_micro_values, b=_micro_values, c=_micro_values)
+    def test_merge_is_associative_and_commutative(self, a, b, c):
+        ma, mb, mc = _fold(a), _fold(b), _fold(c)
+        left = ma.merge(mb).merge(mc)
+        right = ma.merge(mb.merge(mc))
+        swapped = mc.merge(ma).merge(mb)
+        assert left.as_tuple() == right.as_tuple() == swapped.as_tuple()
+
+    @settings(deadline=None, max_examples=60)
+    @given(a=_micro_values, b=_micro_values)
+    def test_merge_equals_concatenated_stream(self, a, b):
+        # Splitting a stream across workers and merging must be exactly
+        # the same as observing the whole stream in one accumulator —
+        # the --jobs-independence property.
+        assert _fold(a).merge(_fold(b)).as_tuple() == _fold(a + b).as_tuple()
+
+    def test_moments_match_numpy_on_exact_inputs(self):
+        values = [1.5, 2.0, -0.25, 4.0, 0.0]
+        acc = _fold([quantize(v) for v in values])
+        assert acc.mean() == pytest.approx(np.mean(values), abs=1e-12)
+        assert acc.variance() == pytest.approx(np.var(values), abs=1e-12)
+
+    def test_empty_accumulator_reads_zero(self):
+        acc = RunningMoments()
+        assert acc.mean() == 0.0
+        assert acc.variance() == 0.0
+        assert acc.as_tuple() == (0, 0, 0)
+
+
+class TestDriftMonitor:
+    def test_reference_window_never_alerts(self):
+        mon = DriftMonitor(2, threshold=0.5, window=4)
+        for _ in range(4):
+            assert mon.observe([1.0, 0.0]) is None
+        assert mon.reference is not None
+        assert mon.alerts == 0
+
+    def test_shifted_mean_alerts_with_configured_action(self):
+        mon = DriftMonitor(1, threshold=3.0, window=8, action="reset")
+        rng = np.random.default_rng(0)
+        for _ in range(8):  # reference around 0
+            mon.observe([float(rng.normal(0.0, 0.1))])
+        actions = [
+            mon.observe([float(rng.normal(5.0, 0.1))]) for _ in range(8)
+        ]
+        assert actions[-1] == "reset"
+        assert mon.alerts == 1
+        assert max(mon.last_scores) > 3.0
+
+    def test_unshifted_stream_stays_quiet(self):
+        mon = DriftMonitor(2, threshold=4.0, window=8)
+        rng = np.random.default_rng(1)
+        for _ in range(64):
+            mon.observe([float(rng.normal(0.0, 1.0)), 1.0])
+        assert mon.alerts == 0
+
+    def test_constant_feature_reference_does_not_divide_by_zero(self):
+        # The bias column has exactly zero reference spread; the floor
+        # of one micro-unit keeps scores finite (and huge, so a real
+        # change on a constant feature still alerts).
+        mon = DriftMonitor(1, threshold=1.0, window=4, action="fallback")
+        for _ in range(4):
+            mon.observe([1.0])
+        for _ in range(3):
+            assert mon.observe([1.0]) is None
+        assert mon.observe([1.0]) is None  # identical stream: no alert
+        for _ in range(3):
+            mon.observe([2.0])
+        assert mon.observe([2.0]) == "fallback"
+
+    def test_non_finite_observations_skipped(self):
+        mon = DriftMonitor(1, threshold=1.0, window=2)
+        mon.observe([float("nan")])
+        mon.observe([float("inf")])
+        assert mon.skipped == 2
+        assert mon.observed == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_features": 0, "threshold": 1.0, "window": 4},
+            {"n_features": 1, "threshold": 0.0, "window": 4},
+            {"n_features": 1, "threshold": -1.0, "window": 4},
+            {"n_features": 1, "threshold": 1.0, "window": 1},
+        ],
+    )
+    def test_invalid_monitor_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftMonitor(**kwargs)
+
+
+class TestDriftInSimulation:
+    def test_fallback_action_degrades_policy_to_reactive(self, tiny_trace):
+        """A drift fallback mid-run must null the policy weights."""
+        from repro.common.config import SimConfig
+        from repro.core.controller import make_policy
+        from repro.models import OnlineConfig
+        from repro.noc.simulator import Simulator
+
+        config = SimConfig(
+            topology="mesh", radix=4, concentration=1,
+            epoch_cycles=30, horizon_ns=1_500.0,
+        )
+        policy = make_policy(
+            "dozznoc", weights=np.array([0.05, 0.01, 0.01, -0.002, 0.8])
+        )
+        sim = Simulator(
+            config, tiny_trace, policy,
+            online=OnlineConfig(
+                warmup_updates=1, drift_threshold=1e-6,
+                drift_action="fallback", drift_window=2,
+            ),
+        )
+        result = sim.run()
+        assert result.stats.drift_alerts >= 1
+        assert sim.policy.weights is None  # reactive from the alert on
+        assert sim.online.halted

@@ -1,0 +1,246 @@
+"""Promotion gate and shadow scorer: unit behaviour + campaign end-to-end."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.units import MICRO
+from repro.core.features import REDUCED_FEATURES
+from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.models import ModelRegistry, PromotionGate, ShadowScorer
+
+# ---------------------------------------------------------------------- #
+# Gate unit behaviour
+# ---------------------------------------------------------------------- #
+
+
+class TestPromotionGate:
+    def test_clearly_better_candidate_promotes(self):
+        gate = PromotionGate(window=64)
+        decision = gate.evaluate(
+            scored=100,
+            candidate_abs_err_micro=10 * MICRO,
+            incumbent_abs_err_micro=100 * MICRO,
+            candidate_wins=95,
+        )
+        assert decision.promoted
+        assert decision.rel_improvement == pytest.approx(0.9)
+        assert decision.win_rate == pytest.approx(0.95)
+        assert decision.z_score > 1.645
+
+    def test_worse_candidate_rejected(self):
+        gate = PromotionGate(window=64)
+        decision = gate.evaluate(
+            scored=100,
+            candidate_abs_err_micro=120 * MICRO,
+            incumbent_abs_err_micro=100 * MICRO,
+            candidate_wins=30,
+        )
+        assert not decision.promoted
+        assert "relative improvement" in decision.reason
+        assert decision.rel_improvement < 0
+
+    def test_insufficient_evidence_rejected(self):
+        # The all-cache-hits campaign lands here: zero scored pairs must
+        # read as "not enough evidence", never as a promotion.
+        decision = PromotionGate(window=64).evaluate(0, 0, 0, 0)
+        assert not decision.promoted
+        assert "insufficient shadow evidence" in decision.reason
+
+    def test_improvement_without_significance_rejected(self):
+        # Better on average but wins barely half the pairs: the sign
+        # test must block the promotion.
+        gate = PromotionGate(window=64, min_rel_improvement=0.02)
+        decision = gate.evaluate(
+            scored=100,
+            candidate_abs_err_micro=80 * MICRO,
+            incumbent_abs_err_micro=100 * MICRO,
+            candidate_wins=53,
+        )
+        assert not decision.promoted
+        assert "sign-test" in decision.reason
+
+    def test_perfect_incumbent_rejected(self):
+        decision = PromotionGate(window=10).evaluate(20, 5 * MICRO, 0, 0)
+        assert not decision.promoted
+        assert "already zero" in decision.reason
+
+    def test_evaluate_metrics_reads_shadow_counters(self):
+        from repro.models.shadow import SHADOW_COUNTERS
+        from repro.telemetry.metrics import MetricSet
+
+        metrics = MetricSet()
+        values = (100, 10 * MICRO, 100 * MICRO, 95, 0)
+        for name, value in zip(SHADOW_COUNTERS, values):
+            metrics.counter(name, help=name).inc(value)
+        decision = PromotionGate(window=64).evaluate_metrics(metrics)
+        assert decision.promoted
+
+    def test_evaluate_metrics_missing_counters_is_insufficient(self):
+        from repro.telemetry.metrics import MetricSet
+
+        decision = PromotionGate().evaluate_metrics(MetricSet())
+        assert not decision.promoted
+        assert "insufficient" in decision.reason
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"window": 0}, {"min_rel_improvement": -0.1}, {"confidence_z": -1.0}],
+    )
+    def test_invalid_gate_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PromotionGate(**kwargs)
+
+    def test_decision_round_trips_through_json(self):
+        decision = PromotionGate(window=4).evaluate(
+            8, 1 * MICRO, 2 * MICRO, 7
+        )
+        payload = json.loads(json.dumps(decision.as_dict()))
+        assert payload["promoted"] is True
+        assert payload["scored"] == 8
+        assert payload["window"] == 4
+
+
+# ---------------------------------------------------------------------- #
+# Shadow scorer
+# ---------------------------------------------------------------------- #
+
+
+class TestShadowScorer:
+    def test_flush_size_is_unobservable(self):
+        # Batched inference is row-stable, so flushing every row and
+        # flushing in blocks of 64 must produce identical accumulators.
+        rng = np.random.default_rng(5)
+        cand = rng.normal(size=5)
+        inc = rng.normal(size=5)
+        scorers = [
+            ShadowScorer(cand, incumbent_weights=inc, flush_size=fs)
+            for fs in (1, 7, 64)
+        ]
+        for step in range(200):
+            rid = int(rng.integers(0, 16))
+            features = rng.normal(size=5)
+            ibu = float(rng.uniform(0.0, 1.0))
+            for scorer in scorers:
+                scorer.on_epoch(rid, features, ibu)
+        for scorer in scorers:
+            scorer.finalize()
+        first = scorers[0].counter_values()
+        assert first[0] > 0
+        for scorer in scorers[1:]:
+            assert scorer.counter_values() == first
+
+    def test_reactive_incumbent_predicts_measured_ibu(self):
+        # With no incumbent weights the implicit prediction for the next
+        # epoch is the IBU measured when the pair was opened.
+        scorer = ShadowScorer(np.array([0.0, 1.0]), incumbent_weights=None)
+        scorer.on_epoch(0, [1.0, 0.30], 0.30)  # candidate predicts 0.30
+        scorer.on_epoch(0, [1.0, 0.50], 0.50)  # actual 0.50
+        scorer.finalize()
+        scored, cand_err, inc_err, wins, skipped = scorer.counter_values()
+        assert scored == 1
+        assert cand_err == 200_000  # |0.30 - 0.50| in micro-units
+        assert inc_err == 200_000  # reactive predicted 0.30 too
+        assert wins == 0  # ties are not wins
+
+    def test_non_finite_actuals_skipped(self):
+        scorer = ShadowScorer(np.array([1.0]))
+        scorer.on_epoch(0, [0.5], 0.5)
+        scorer.on_epoch(0, [0.5], float("nan"))
+        scorer.finalize()
+        assert scorer.counter_values()[0] == 0
+        assert scorer.counter_values()[4] == 1
+
+
+# ---------------------------------------------------------------------- #
+# Campaign end-to-end: the gate exercised both ways
+# ---------------------------------------------------------------------- #
+
+
+def _register(registry, weights, lam=0.1, note=""):
+    return registry.register(
+        policy="dozznoc",
+        feature_set_name=REDUCED_FEATURES.name,
+        feature_names=REDUCED_FEATURES.names,
+        epoch_cycles=100,
+        lam=lam,
+        weights=weights,
+        train_rmse=0.1,
+        validation_rmse=0.1,
+        validation_accuracy=0.4,
+        note=note,
+    )
+
+
+#: A persistence predictor (future IBU = current IBU): decent.
+_GOOD = (0.0, 0.0, 0.0, 0.0, 1.0)
+#: A constant-5.0 predictor: always wrong by ~5 utilization units.
+_BAD = (5.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def _campaign(tmp_path, small_config, incumbent, candidate,
+              promote_on_pass=False):
+    registry = ModelRegistry(tmp_path / "registry")
+    inc = _register(registry, incumbent, note="incumbent")
+    cand = _register(registry, candidate, lam=0.2, note="candidate")
+    campaign = CampaignConfig(
+        sim=small_config,
+        duration_ns=260.0,
+        models=("baseline", "dozznoc"),
+        telemetry_dir=tmp_path / "telemetry",
+        registry_dir=tmp_path / "registry",
+        registry_models=(inc.fingerprint,),
+        shadow_model=cand.fingerprint,
+        gate=PromotionGate(window=32),
+        promote_on_pass=promote_on_pass,
+        jobs=1,
+    )
+    result = run_campaign(campaign)
+    summary = json.loads(
+        (tmp_path / "telemetry" / "campaign-summary.json").read_text()
+    )
+    return registry, inc, cand, result, summary
+
+
+def test_campaign_promotes_better_candidate(tmp_path, small_config):
+    registry, inc, cand, result, summary = _campaign(
+        tmp_path, small_config, incumbent=_BAD, candidate=_GOOD,
+        promote_on_pass=True,
+    )
+    promotion = summary["meta"]["promotion"]
+    assert promotion["candidate"] == cand.fingerprint
+    assert promotion["promoted"] is True
+    assert promotion["scored"] >= 32
+    assert promotion["rel_improvement"] > 0.02
+    assert result.promotion["promoted_in_registry"] is True
+    assert registry.active("dozznoc").fingerprint == cand.fingerprint
+
+
+def test_campaign_rejects_worse_candidate(tmp_path, small_config):
+    registry, inc, cand, result, summary = _campaign(
+        tmp_path, small_config, incumbent=_GOOD, candidate=_BAD,
+        promote_on_pass=True,
+    )
+    promotion = summary["meta"]["promotion"]
+    assert promotion["candidate"] == cand.fingerprint
+    assert promotion["promoted"] is False
+    assert promotion["rel_improvement"] < 0
+    assert result.promotion.get("promoted_in_registry") is None
+    assert registry.active("dozznoc") is None  # nothing promoted
+
+
+def test_campaign_serving_requires_matching_policy(tmp_path, small_config):
+    registry = ModelRegistry(tmp_path / "registry")
+    rec = _register(registry, _GOOD)
+    campaign = CampaignConfig(
+        sim=small_config,
+        duration_ns=260.0,
+        models=("baseline", "pg"),  # dozznoc not evaluated
+        registry_dir=tmp_path / "registry",
+        registry_models=(rec.fingerprint,),
+    )
+    with pytest.raises(ValueError, match="dozznoc"):
+        run_campaign(campaign)

@@ -1,0 +1,224 @@
+"""Online ridge learner: exactness, divergence safety, batched inference.
+
+The load-bearing property: from a cold start with forgetting 1.0, a
+single :meth:`OnlineRidge.partial_fit` must reproduce
+:func:`repro.ml.ridge.fit_ridge` **bit-for-bit** — same accumulators,
+same solve, compared with ``np.array_equal``, no tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.ridge import fit_ridge
+from repro.models import OnlineConfig, OnlineRidge, batch_predict
+
+
+def _dataset(seed: int, m: int, n: int, scale: float):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0.0, scale, size=(m, n))
+    y = rng.normal(0.0, scale, size=m)
+    return x, y
+
+
+class TestRlsMatchesBatchRidge:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        m=st.integers(1, 40),
+        n=st.integers(1, 8),
+        lam=st.sampled_from([1e-4, 1e-2, 1.0, 100.0]),
+        scale=st.sampled_from([1e-3, 1.0, 50.0]),
+    )
+    def test_partial_fit_is_bitwise_equal_to_fit_ridge(
+        self, seed, m, n, lam, scale
+    ):
+        x, y = _dataset(seed, m, n, scale)
+        batch = fit_ridge(x, y, lam)
+        online = OnlineRidge(
+            n, OnlineConfig(lam=lam, forgetting=1.0, warmup_updates=1)
+        )
+        online.partial_fit(x, y)
+        assert online.weights is not None
+        assert np.array_equal(online.weights, batch.weights), (
+            f"max |delta| = {np.abs(online.weights - batch.weights).max()}"
+        )
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        m=st.integers(2, 25),
+        n=st.integers(1, 6),
+    )
+    def test_per_sample_updates_converge_to_batch_solution(self, seed, m, n):
+        # Sequential rank-1 updates accumulate the same normal equations
+        # up to float summation order; the solutions agree numerically.
+        x, y = _dataset(seed, m, n, 1.0)
+        batch = fit_ridge(x, y, 1e-2)
+        online = OnlineRidge(
+            n, OnlineConfig(lam=1e-2, forgetting=1.0, warmup_updates=1)
+        )
+        for row, label in zip(x, y):
+            online.update(row, float(label))
+        assert online.updates == m
+        np.testing.assert_allclose(
+            online.weights, batch.weights, rtol=1e-8, atol=1e-10
+        )
+
+
+class TestWarmupAndForgetting:
+    def test_warm_weights_served_until_warmup(self):
+        warm = np.array([0.1, 0.2, 0.3])
+        online = OnlineRidge(
+            3, OnlineConfig(warmup_updates=3), warm_weights=warm
+        )
+        rng = np.random.default_rng(0)
+        for i in range(2):
+            online.update(rng.normal(size=3), 0.5)
+            assert np.array_equal(online.weights, warm), f"after update {i}"
+        online.update(rng.normal(size=3), 0.5)
+        assert not np.array_equal(online.weights, warm)
+
+    def test_forgetting_discounts_old_samples(self):
+        # With heavy forgetting, the learner tracks a label shift that a
+        # forgetting-1.0 learner averages away.
+        n = 2
+        rng = np.random.default_rng(3)
+        x = rng.normal(0.0, 1.0, size=(200, n))
+        remember = OnlineRidge(
+            n, OnlineConfig(lam=1e-3, forgetting=1.0, warmup_updates=1)
+        )
+        forget = OnlineRidge(
+            n, OnlineConfig(lam=1e-3, forgetting=0.9, warmup_updates=1)
+        )
+        for i, row in enumerate(x):
+            label = float(row @ ([1.0, 0.0] if i < 100 else [0.0, 1.0]))
+            remember.update(row, label)
+            forget.update(row, label)
+        target = np.array([0.0, 1.0])
+        err_forget = np.linalg.norm(forget.weights - target)
+        err_remember = np.linalg.norm(remember.weights - target)
+        assert err_forget < err_remember
+
+    def test_reset_returns_to_warm_start(self):
+        warm = np.array([0.5, -0.5])
+        online = OnlineRidge(
+            2, OnlineConfig(warmup_updates=1), warm_weights=warm
+        )
+        online.update(np.array([1.0, 2.0]), 3.0)
+        assert not np.array_equal(online.weights, warm)
+        online.reset()
+        assert np.array_equal(online.weights, warm)
+        assert online.updates == 0
+        assert online.resets == 1
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+class TestDivergenceSafety:
+    def test_overflowing_inputs_diverge_to_nan_weights(self):
+        online = OnlineRidge(
+            2, OnlineConfig(lam=1e-2, warmup_updates=1)
+        )
+        online.update(np.array([1e200, 1e200]), 1e200)
+        online.update(np.array([1e200, -1e200]), -1e200)
+        for _ in range(5):
+            online.update(np.array([1e308, 1e308]), 1e308)
+            if online.diverged:
+                break
+        assert online.diverged
+        w = online.weights
+        assert w is not None and np.all(np.isnan(w))
+
+    def test_diverged_learner_ignores_further_updates(self):
+        online = OnlineRidge(1, OnlineConfig(warmup_updates=1))
+        online.update(np.array([1e308]), 1e308)
+        online.update(np.array([1e308]), 1e308)
+        assert online.diverged
+        before = online.updates
+        online.update(np.array([1.0]), 1.0)
+        assert online.updates == before
+
+    def test_nan_weights_drive_controller_reactive_fallback(self):
+        # The controller's non-finite guard is the divergence backstop:
+        # all-NaN weights must yield the same decision as reactive mode.
+        from repro.core.controller import make_policy
+
+        class _Router:
+            def current_ibu(self):
+                return 0.41
+
+        router = _Router()
+        diverged = make_policy("dozznoc", weights=np.full(5, np.nan))
+        reactive = make_policy("dozznoc", weights=None)
+        features = np.array([1.0, 0.2, 0.3, 0.0, 0.41])
+        assert diverged.select_mode_index(
+            router, features
+        ) == reactive.select_mode_index(router, features)
+        assert not np.isfinite(diverged.last_prediction)
+
+    def test_halt_freezes_learning(self):
+        online = OnlineRidge(2, OnlineConfig(warmup_updates=1))
+        online.update(np.array([1.0, 0.0]), 1.0)
+        frozen = online.weights.copy()
+        online.halt()
+        online.update(np.array([0.0, 1.0]), -1.0)
+        assert online.updates == 1
+        assert np.array_equal(online.weights, frozen)
+
+
+class TestBatchPredict:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        m=st.integers(1, 70),
+        n=st.integers(1, 8),
+    )
+    def test_row_stability(self, seed, m, n):
+        # Every row of a batched prediction equals predicting that row
+        # alone — bitwise.  This is what makes the shadow scorer's
+        # flush size unobservable.
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0.0, 2.0, size=(m, n))
+        w = rng.normal(0.0, 1.0, size=n)
+        batched = batch_predict(x, w)
+        for i in range(m):
+            alone = batch_predict(x[i : i + 1], w)
+            assert batched[i] == alone[0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            batch_predict(np.zeros(3), np.zeros(3))  # 1-D x
+        with pytest.raises(ValueError):
+            batch_predict(np.zeros((2, 3)), np.zeros(4))  # mismatch
+
+    def test_zero_feature_columns(self):
+        out = batch_predict(np.zeros((4, 0)), np.zeros(0))
+        assert np.array_equal(out, np.zeros(4))
+
+
+class TestOnlineConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lam": 0.0},
+            {"lam": -1.0},
+            {"lam": float("nan")},
+            {"forgetting": 0.0},
+            {"forgetting": 1.5},
+            {"warmup_updates": 0},
+            {"drift_threshold": -0.1},
+            {"drift_action": "explode"},
+            {"drift_window": 1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineConfig(**kwargs)
+
+    def test_fingerprint_distinguishes_configs(self):
+        a = OnlineConfig()
+        b = OnlineConfig(forgetting=0.99)
+        assert a.fingerprint() == OnlineConfig().fingerprint()
+        assert a.fingerprint() != b.fingerprint()

@@ -1,0 +1,191 @@
+"""Model registry/store: integrity, resolution, promotion, cache keys."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.errors import ModelError
+from repro.core.features import REDUCED_FEATURES
+from repro.exec.cache import run_key
+from repro.models import ModelRegistry, ModelStore, feature_schema_hash
+
+
+def _register(registry: ModelRegistry, weights, lam=0.1, policy="dozznoc",
+              epoch_cycles=500):
+    return registry.register(
+        policy=policy,
+        feature_set_name=REDUCED_FEATURES.name,
+        feature_names=REDUCED_FEATURES.names,
+        epoch_cycles=epoch_cycles,
+        lam=lam,
+        weights=weights,
+        train_rmse=0.1,
+        validation_rmse=0.12,
+        validation_accuracy=0.4,
+        train_traces=("aaa",),
+        validation_traces=("bbb",),
+        note="test",
+    )
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "models")
+
+
+class TestStoreIntegrity:
+    def test_round_trip_preserves_record(self, registry):
+        rec = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        loaded = registry.get(rec.fingerprint)
+        assert loaded == rec
+        assert loaded.weights == (0.1, 0.2, 0.3, 0.4, 0.5)
+        assert loaded.feature_schema == feature_schema_hash(
+            REDUCED_FEATURES.names
+        )
+
+    def test_registration_is_idempotent(self, registry):
+        a = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        b = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        assert a.fingerprint == b.fingerprint
+        assert registry.store.fingerprints() == [a.fingerprint]
+
+    def test_corrupted_artifact_raises_model_error(self, registry):
+        rec = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        path = registry.store.path_for(rec.fingerprint)
+        payload = json.loads(path.read_text())
+        payload["record"]["weights"][0] = 9.9  # tamper, keep digest
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelError):
+            registry.get(rec.fingerprint)
+
+    def test_truncated_artifact_raises_model_error(self, registry):
+        rec = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        path = registry.store.path_for(rec.fingerprint)
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(ModelError):
+            registry.get(rec.fingerprint)
+
+    def test_store_write_leaves_no_temp_files(self, tmp_path):
+        store = ModelStore(tmp_path / "s")
+        store.save({"policy": "x", "weights": [1.0]})
+        leftovers = [
+            p for p in (tmp_path / "s").iterdir()
+            if not p.name.startswith("model-")
+        ]
+        assert leftovers == []
+
+    def test_non_finite_weights_rejected(self, registry):
+        with pytest.raises(ModelError):
+            _register(registry, [0.1, float("nan"), 0.3, 0.4, 0.5])
+
+    def test_weight_count_must_match_features(self, registry):
+        with pytest.raises(ModelError):
+            _register(registry, [0.1, 0.2])
+
+
+class TestResolution:
+    def test_unique_prefix_resolves(self, registry):
+        rec = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        assert registry.resolve(rec.fingerprint[:6]) == rec.fingerprint
+
+    def test_unknown_reference_raises(self, registry):
+        _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        with pytest.raises(ModelError):
+            registry.resolve("deadbeef")
+
+    def test_ambiguous_prefix_raises(self, registry):
+        # 17 registrations over a 16-character hex alphabet: by
+        # pigeonhole two fingerprints share their first character.
+        fps = [
+            _register(registry, [0.01 * i, 0.2, 0.3, 0.4, 0.5]).fingerprint
+            for i in range(17)
+        ]
+        firsts = [fp[0] for fp in fps]
+        dup = next(c for c in firsts if firsts.count(c) > 1)
+        with pytest.raises(ModelError, match="ambiguous"):
+            registry.resolve(dup)
+
+    def test_empty_reference_raises(self, registry):
+        with pytest.raises(ModelError):
+            registry.resolve("  ")
+
+
+class TestPromotionAndGc:
+    def test_promote_sets_active_per_policy(self, registry):
+        a = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        b = _register(registry, [0.5, 0.4, 0.3, 0.2, 0.1])
+        lead = _register(registry, [1.0, 0.0, 0.0, 0.0, 0.0], policy="lead")
+        assert registry.active("dozznoc") is None
+        registry.promote(a.fingerprint)
+        registry.promote(lead.fingerprint)
+        assert registry.active("dozznoc").fingerprint == a.fingerprint
+        assert registry.active("lead").fingerprint == lead.fingerprint
+        registry.promote(b.fingerprint)  # replaces a, leaves lead alone
+        assert registry.active_map() == {
+            "dozznoc": b.fingerprint, "lead": lead.fingerprint,
+        }
+
+    def test_gc_keeps_only_active_models(self, registry):
+        a = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        b = _register(registry, [0.5, 0.4, 0.3, 0.2, 0.1])
+        registry.promote(b.fingerprint)
+        removed = registry.gc()
+        assert removed == [a.fingerprint]
+        assert registry.store.fingerprints() == [b.fingerprint]
+        registry.get(b.fingerprint)  # still loadable
+
+
+class TestCompatibility:
+    def test_epoch_cycles_mismatch_refused(self, registry):
+        rec = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5],
+                        epoch_cycles=500)
+        with pytest.raises(ModelError, match="epoch_cycles"):
+            registry.check_compatible(rec, REDUCED_FEATURES, 150)
+
+    def test_matching_model_accepted(self, registry):
+        rec = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5],
+                        epoch_cycles=500)
+        registry.check_compatible(rec, REDUCED_FEATURES, 500)
+
+
+class TestModelFingerprintInCacheKey:
+    def test_different_models_never_share_a_cache_entry(self, registry,
+                                                        tiny_trace):
+        """The acceptance criterion: same run config, different registered
+        model version -> different run key, so a cached result can never
+        be served for the wrong model — even if both models somehow had
+        identical weights."""
+        config = SimConfig(topology="mesh", radix=4, epoch_cycles=100)
+        a = _register(registry, [0.1, 0.2, 0.3, 0.4, 0.5])
+        b = _register(registry, [0.5, 0.4, 0.3, 0.2, 0.1], lam=0.2)
+        weights = np.asarray(a.weights)
+
+        def key(model=None, online=None):
+            return run_key(
+                "dozznoc", tiny_trace, config, weights,
+                REDUCED_FEATURES.names, REDUCED_FEATURES.name,
+                model=model, online=online,
+            )
+
+        assert key(model=a.fingerprint) != key(model=b.fingerprint)
+        assert key(model=a.fingerprint) != key(model=None)
+
+    def test_online_config_joins_the_key(self, tiny_trace):
+        from repro.models import OnlineConfig
+
+        config = SimConfig(topology="mesh", radix=4, epoch_cycles=100)
+
+        def key(online=None):
+            return run_key(
+                "dozznoc", tiny_trace, config, None,
+                REDUCED_FEATURES.names, REDUCED_FEATURES.name,
+                online=online,
+            )
+
+        assert key() != key(OnlineConfig())
+        assert key(OnlineConfig()) != key(OnlineConfig(forgetting=0.99))
+        assert key(OnlineConfig()) == key(OnlineConfig())

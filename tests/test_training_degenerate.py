@@ -1,0 +1,147 @@
+"""Degenerate training inputs must never produce NaN/Inf weights.
+
+The contract for :func:`repro.ml.ridge.fit_ridge` (and everything built
+on it): pathological-but-finite datasets — constant feature columns,
+single-sample epochs, all-zero labels, exact collinearity — yield either
+a clean :class:`TrainingError` or finite weights.  Silent NaN/Inf
+weights would poison every later prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import TrainingError
+from repro.ml.ridge import fit_ridge, rmse
+
+
+def _assert_finite_or_training_error(x, y, lam):
+    try:
+        model = fit_ridge(x, y, lam)
+    except TrainingError:
+        return None
+    assert np.all(np.isfinite(model.weights)), (
+        f"non-finite weights {model.weights} for lam={lam}, "
+        f"x={x.tolist()}, y={y.tolist()}"
+    )
+    return model
+
+
+class TestDegenerateColumns:
+    @pytest.mark.parametrize("lam", [0.0, 1e-4, 1.0])
+    def test_constant_feature_column(self, lam):
+        # A constant column alongside the bias column makes the normal
+        # matrix singular at lam=0.
+        rng = np.random.default_rng(0)
+        x = np.column_stack([
+            np.ones(20), np.full(20, 3.5), rng.normal(size=20),
+        ])
+        y = rng.normal(size=20)
+        _assert_finite_or_training_error(x, y, lam)
+
+    @pytest.mark.parametrize("lam", [0.0, 1e-2])
+    def test_exactly_collinear_columns(self, lam):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=15)
+        x = np.column_stack([np.ones(15), base, 2.0 * base])
+        y = rng.normal(size=15)
+        _assert_finite_or_training_error(x, y, lam)
+
+    def test_all_zero_feature_matrix(self):
+        x = np.zeros((10, 3))
+        y = np.ones(10)
+        model = _assert_finite_or_training_error(x, y, 0.0)
+        if model is not None:
+            # Nothing to learn from: predictions must stay finite too.
+            assert np.all(np.isfinite(model.predict(x)))
+
+
+class TestDegenerateSamples:
+    @pytest.mark.parametrize("lam", [0.0, 1e-2, 10.0])
+    def test_single_sample_epoch(self, lam):
+        # One labelled epoch (a trace barely two epochs long) is the
+        # smallest dataset collect_dataset can emit.
+        x = np.array([[1.0, 0.25, 0.5]])
+        y = np.array([0.75])
+        model = _assert_finite_or_training_error(x, y, lam)
+        assert model is not None
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(TrainingError):
+            fit_ridge(np.zeros((0, 3)), np.zeros(0), 1.0)
+
+    @pytest.mark.parametrize("lam", [0.0, 1e-2])
+    def test_all_zero_labels(self, lam):
+        rng = np.random.default_rng(2)
+        x = np.column_stack([np.ones(12), rng.normal(size=(12, 2))])
+        y = np.zeros(12)
+        model = _assert_finite_or_training_error(x, y, lam)
+        if model is not None:
+            # Zero labels with ridge shrinkage: the optimum is w = 0.
+            np.testing.assert_allclose(model.weights, 0.0, atol=1e-10)
+
+    def test_duplicated_single_sample(self):
+        # Rank-1 Gram matrix from many copies of one row.
+        x = np.tile([[1.0, 0.4, 0.4]], (30, 1))
+        y = np.full(30, 0.6)
+        _assert_finite_or_training_error(x, y, 0.0)
+
+
+class TestInvalidInputsRejected:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_features_raise(self, bad):
+        x = np.array([[1.0, bad], [1.0, 0.5]])
+        with pytest.raises(TrainingError):
+            fit_ridge(x, np.array([0.1, 0.2]), 1.0)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf])
+    def test_non_finite_labels_raise(self, bad):
+        x = np.ones((2, 2))
+        with pytest.raises(TrainingError):
+            fit_ridge(x, np.array([0.1, bad]), 1.0)
+
+    def test_negative_lambda_raises(self):
+        with pytest.raises(TrainingError):
+            fit_ridge(np.ones((2, 2)), np.ones(2), -1.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(TrainingError):
+            fit_ridge(np.ones((3, 2)), np.ones(4), 1.0)
+
+    def test_rmse_guards_degenerate_inputs(self):
+        with pytest.raises(TrainingError):
+            rmse(np.zeros(0), np.zeros(0))
+        with pytest.raises(TrainingError):
+            rmse(np.zeros(3), np.zeros(4))
+
+
+class TestPropertyNeverNaN:
+    @settings(deadline=None, max_examples=80)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        m=st.integers(1, 25),
+        n=st.integers(1, 6),
+        lam=st.sampled_from([0.0, 1e-6, 1e-2, 1.0, 1e4]),
+        structure=st.sampled_from(
+            ["random", "constant-col", "collinear", "zero-labels",
+             "duplicated-rows"]
+        ),
+    )
+    def test_finite_weights_or_training_error(
+        self, seed, m, n, lam, structure
+    ):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0.0, 1.0, size=(m, n))
+        y = rng.normal(0.0, 1.0, size=m)
+        if structure == "constant-col":
+            x[:, 0] = 7.25
+        elif structure == "collinear" and n >= 2:
+            x[:, -1] = -3.0 * x[:, 0]
+        elif structure == "zero-labels":
+            y[:] = 0.0
+        elif structure == "duplicated-rows":
+            x = np.tile(x[:1], (m, 1))
+            y = np.full(m, y[0])
+        _assert_finite_or_training_error(x, y, lam)

@@ -4,8 +4,8 @@
 every cache key; a module that influences simulation results but is
 missing from that set lets stale cached metrics survive a kernel edit.
 This test statically extracts everything :mod:`repro.noc.simulator`
-imports (transitively, one level deep) and asserts each module is in the
-versioned set.
+imports — transitively, to a fixpoint — and asserts each module is in
+the versioned set.
 """
 
 from __future__ import annotations
@@ -64,18 +64,49 @@ def _module_imports(name: str) -> set[str]:
     return found
 
 
+def _transitive_imports(root: str) -> set[str]:
+    """Every ``repro.*`` module reachable from ``root`` — full fixpoint.
+
+    Breadth-first over :func:`_module_imports` until no new module
+    appears, so a dependency added three hops deep still fails the
+    coverage assertion below.
+    """
+    reachable = {root}
+    frontier = [root]
+    while frontier:
+        nxt: list[str] = []
+        for module in sorted(frontier):
+            for child in _module_imports(module):
+                if child not in reachable:
+                    reachable.add(child)
+                    nxt.append(child)
+        frontier = nxt
+    return reachable
+
+
 def test_simulator_imports_are_all_versioned():
-    level1 = _module_imports("repro.noc.simulator")
-    assert level1, "scan found no imports — the extractor is broken"
-    level2: set[str] = set()
-    for module in sorted(level1):
-        level2 |= _module_imports(module)
-    reachable = {"repro.noc.simulator"} | level1 | level2
+    reachable = _transitive_imports("repro.noc.simulator")
+    assert len(reachable) > 1, "scan found no imports — the extractor is broken"
     missing = reachable - set(_VERSIONED_MODULES)
     assert not missing, (
         f"modules reachable from the simulator but absent from "
         f"_VERSIONED_MODULES (cached runs would survive edits to them): "
         f"{sorted(missing)}"
+    )
+
+
+def test_fixpoint_is_strictly_deeper_than_one_level():
+    # Guard the guard: the fixpoint must see modules a one-level scan
+    # misses (e.g. repro.models.store, reached only via the registry).
+    level1 = _module_imports("repro.noc.simulator")
+    shallow = {"repro.noc.simulator"} | set(level1)
+    for module in sorted(level1):
+        shallow |= _module_imports(module)
+    deep = _transitive_imports("repro.noc.simulator")
+    assert shallow <= deep
+    assert deep - shallow, (
+        "the transitive fixpoint found nothing beyond two levels; if the "
+        "import graph really did flatten, simplify this test"
     )
 
 
