@@ -200,7 +200,7 @@ def _print_shadow_report(shadow, candidate_fp: str) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     base = SimConfig.paper_cmesh() if args.cmesh else SimConfig.paper_mesh()
-    config = base.with_(switching=args.switching)
+    config = base.with_(switching=args.switching, backend=args.backend)
     trace = generate_benchmark_trace(
         args.benchmark, num_cores=config.num_cores, duration_ns=args.duration,
         seed=args.seed,
@@ -450,6 +450,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   (lambda line: print(line, flush=True))),
         faults=args.faults,
         online=args.online,
+        backend_differential=args.differential_backend,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -662,6 +663,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--cmesh", action="store_true")
     p_run.add_argument("--switching", choices=["vct", "wormhole"],
                        default="vct")
+    p_run.add_argument(
+        "--backend",
+        choices=["object", "array"],
+        default="object",
+        help=(
+            "simulator kernel: 'object' (reference, default) or 'array' "
+            "(structure-of-arrays fast path; bit-identical results)"
+        ),
+    )
     p_run.add_argument("--map", action="store_true",
                        help="print per-router heatmaps")
     p_run.add_argument("--audit", action="store_true",
@@ -758,6 +768,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "per trial (ML policies learn per-epoch)")
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-trial progress lines")
+    p_fuzz.add_argument(
+        "--differential-backend",
+        action="store_true",
+        help=(
+            "re-run every clean trial on the array kernel "
+            "(--backend array) and require identical metrics"
+        ),
+    )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     p_model = sub.add_parser(

@@ -52,6 +52,12 @@ class SimConfig:
         ``~hops x length`` to ``~hops + length`` cycles).  Both modes
         reserve the full packet downstream, keeping admission deadlock-free
         under XY routing.
+    backend:
+        Simulation kernel implementation.  ``"object"`` (default) is the
+        per-cycle object-model kernel; ``"array"`` selects the
+        structure-of-arrays kernel with span skipping
+        (:mod:`repro.noc.array_sim`), which produces bit-identical results
+        faster.  See ``docs/backends.md``.
     seed:
         Master seed for any stochastic tie-breaking (the substrate itself is
         deterministic; the seed namespaces derived artifacts).
@@ -68,6 +74,7 @@ class SimConfig:
     horizon_ns: float | None = None
     drain_margin: float = 2.0
     switching: str = "vct"
+    backend: str = "object"
     seed: int = 0
     extra: dict[str, Any] = field(default_factory=dict, compare=False)
 
@@ -99,6 +106,10 @@ class SimConfig:
         if self.switching not in ("vct", "wormhole"):
             raise ConfigError(
                 f"switching must be 'vct' or 'wormhole', got {self.switching!r}"
+            )
+        if self.backend not in ("object", "array"):
+            raise ConfigError(
+                f"backend must be 'object' or 'array', got {self.backend!r}"
             )
 
     @property

@@ -47,7 +47,10 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
 #: fault-configuration digest.  v4: run keys gained the served model's
 #: registry fingerprint and the online-learning configuration digest, so
 #: cached results can never mix model versions or online/offline runs.
-SCHEMA_VERSION = 4
+#: v5: ``SimConfig`` gained ``backend`` (object vs array kernel); the
+#: field joins the config digest automatically, but the bump retires v4
+#: entries whose keys predate it.
+SCHEMA_VERSION = 5
 
 #: Modules whose source determines simulation results.  Editing any of
 #: these changes the code-version digest and invalidates cached runs.
@@ -77,6 +80,7 @@ _VERSIONED_MODULES: tuple[str, ...] = (
     "repro.models.registry",
     "repro.models.shadow",
     "repro.models.store",
+    "repro.noc.array_sim",
     "repro.noc.buffer",
     "repro.noc.network",
     "repro.noc.packet",

@@ -594,14 +594,15 @@ class Simulator:
                         )
             router.epoch_cycle += 1
         else:  # ACTIVE
+            bufs = router.in_buffers
             # 1. Commit transfers whose tail flit has landed.
-            if router.arrivals and router.arrivals[0][0] <= tick:
+            arrivals = router.arrivals
+            if arrivals and arrivals[0][0] <= tick:
                 self._commit_arrivals(router, tick)
             # 2. Transport or switch-stall.
             if router.switch_stall > 0:
                 router.switch_stall -= 1
             else:
-                bufs = router.in_buffers
                 if (
                     bufs[0].queue or bufs[1].queue or bufs[2].queue
                     or bufs[3].queue or bufs[4].queue
@@ -620,7 +621,6 @@ class Simulator:
                     else:
                         router.idle_count = 0
             # 4. Epoch accounting.
-            bufs = router.in_buffers
             router.occ_sum += (
                 bufs[0].occupancy + bufs[1].occupancy + bufs[2].occupancy
                 + bufs[3].occupancy + bufs[4].occupancy
@@ -677,14 +677,17 @@ class Simulator:
         in_buffers = router.in_buffers
         rid = router.rid
         pop = heapq.heappop
+        unsecure = self.unsecure
+        secure = self.secure
+        route = self._route
         while arrivals and arrivals[0][0] <= tick:
             _, _, in_port, packet = pop(arrivals)
             in_buffers[in_port].commit(packet)
-            self.unsecure(router)
-            out_port = self._route(rid, core_router[packet.dst_core])
+            unsecure(router)
+            out_port = route(rid, core_router[packet.dst_core])
             packet.out_port = out_port
             if out_port != LOCAL:
-                self.secure(routers[nbr_of[out_port]])
+                secure(routers[nbr_of[out_port]])
 
     def _route(self, rid: int, dst_router: int) -> int:
         """Inline XY DOR (hot path)."""
@@ -707,6 +710,7 @@ class Simulator:
         if router.out_busy_until[LOCAL] > tick:
             return 0
         bufs = router.in_buffers
+        period = router.cur_period
         start = rr[LOCAL]
         for k in range(5):
             ip = (start + k) % 5
@@ -715,7 +719,6 @@ class Simulator:
                 continue
             packet = bufs[ip].pop()
             length = packet.length
-            period = router.cur_period
             done = tick + length * period
             if self.wormhole:
                 # The tail may still be streaming in from upstream; the
@@ -757,7 +760,10 @@ class Simulator:
                 if used >> ip & 1:
                     continue
                 queue = bufs[ip].queue
-                if not queue or queue[0].out_port != port:
+                if not queue:
+                    continue
+                packet = queue[0]
+                if packet.out_port != port:
                     continue
                 # The downstream router gates this whole output: if it
                 # cannot receive, no other input can use the port either
@@ -765,7 +771,6 @@ class Simulator:
                 if nbr.state is not _ACTIVE or nbr.switch_stall:
                     break
                 nbuf = nbr.in_buffers[opp]
-                packet = queue[0]
                 length = packet.length
                 # Inlined InputBuffer.can_accept + reserve (the guard just
                 # performed is exactly reserve()'s over-reservation check).
@@ -960,8 +965,19 @@ def run_simulation(
     the policy's weights; ``shadow`` may be a
     :class:`repro.models.ShadowScorer` that scores a candidate model's
     predictions without ever acting on them.
+
+    ``config.backend`` selects the kernel implementation: ``"object"``
+    (this module) or ``"array"`` (:mod:`repro.noc.array_sim`, imported
+    lazily to avoid a circular import).  Both produce bit-identical
+    results; see ``docs/backends.md``.
     """
-    sim = Simulator(
+    if config.backend == "array":
+        from repro.noc.array_sim import ArraySimulator
+
+        sim_cls = ArraySimulator
+    else:
+        sim_cls = Simulator
+    sim = sim_cls(
         config, trace, policy, collect_features, timeline,
         audit=audit, faults=faults, telemetry=telemetry,
         online=online, shadow=shadow,

@@ -12,6 +12,13 @@ trace, then runs **all five policies** three ways:
    serializer round-trip is part of the differential),
 3. **parallel** — all trials' tasks fanned over a process pool at the end.
 
+With ``--differential-backend`` a fourth leg re-runs every clean serial
+task on the structure-of-arrays kernel (``backend="array"``,
+:mod:`repro.noc.array_sim`) with its own auditor attached and demands
+``ModelMetrics`` equality against the object-kernel run — the randomized
+proof that the two kernels are bit-identical, across all five policies,
+switching modes, fault injection and online learning.
+
 Every leg must produce *identical* :class:`ModelMetrics`; any divergence,
 and any invariant violation, is recorded as a failure with a JSON repro
 artifact.  Trials are deterministic: trial ``i`` under ``--seed s`` always
@@ -76,6 +83,7 @@ class FuzzFailure:
     trial: int
     policy: str
     kind: str  # "invariant" | "differential-cached" | "differential-parallel"
+    #          | "differential-backend"
     message: str
     artifact_path: str | None
 
@@ -219,6 +227,7 @@ def run_fuzz(
     progress: Callable[[str], None] | None = None,
     faults: bool = False,
     online: bool = False,
+    backend_differential: bool = False,
 ) -> FuzzReport:
     """Run a fuzz session and return its report.
 
@@ -247,6 +256,10 @@ def run_fuzz(
         policies — the differential then also proves per-epoch online
         learning (including drift resets and fallbacks) is deterministic
         and cache-safe.
+    backend_differential:
+        Re-run every clean serial task on the array kernel
+        (``backend="array"``) and require identical ``ModelMetrics`` —
+        the object-vs-array bit-identity leg.
     """
     report = FuzzReport(master_seed=seed, trials_run=0, runs=0, epoch_audits=0)
     indices = [replay] if replay is not None else list(range(trials))
@@ -260,6 +273,8 @@ def run_fuzz(
             ok_serial = _serial_leg(trial, report, artifact_dir)
             if ok_serial:
                 _cached_leg(trial, ok_serial, cache, report, artifact_dir)
+                if backend_differential:
+                    _backend_leg(trial, ok_serial, report, artifact_dir)
                 serial_by_task.extend(
                     (trial, policy, task, metrics)
                     for policy, (task, metrics) in ok_serial.items()
@@ -276,7 +291,7 @@ def run_fuzz(
 
 
 # ---------------------------------------------------------------------- #
-# The three legs
+# The legs
 # ---------------------------------------------------------------------- #
 
 
@@ -382,6 +397,60 @@ def _record_mismatch(
             artifact_path=path,
         )
     )
+
+
+def _backend_leg(
+    trial: FuzzTrial,
+    ok_serial: dict[str, tuple[SimTask, ModelMetrics]],
+    report: FuzzReport,
+    artifact_dir: str | Path | None,
+) -> None:
+    """Re-run clean serial tasks on the array kernel; demand identical metrics.
+
+    Imports :class:`~repro.noc.array_sim.ArraySimulator` lazily so plain
+    fuzz runs never pay for the second kernel.
+    """
+    from repro.noc.array_sim import ArraySimulator
+
+    array_config = trial.config.with_(backend="array")
+    for policy_name, (task, metrics) in ok_serial.items():
+        auditor = InvariantAuditor(
+            artifact_dir=artifact_dir,
+            context={
+                "fuzz_master_seed": trial.master_seed,
+                "fuzz_trial": trial.index,
+                "backend": "array",
+                "replay": (
+                    f"dozznoc fuzz --seed {trial.master_seed} "
+                    f"--replay {trial.index} --differential-backend"
+                ),
+            },
+        )
+        policy = make_policy(policy_name, weights=task.weights)
+        report.runs += 1
+        try:
+            result = ArraySimulator(
+                array_config, trial.trace, policy, audit=auditor,
+                faults=trial.faults, online=trial.online_for(policy_name),
+            ).run()
+        except AuditError as err:
+            report.failures.append(
+                FuzzFailure(
+                    trial=trial.index,
+                    policy=policy_name,
+                    kind="differential-backend",
+                    message=f"array-backend invariant: {err}",
+                    artifact_path=err.artifact_path,
+                )
+            )
+            continue
+        report.epoch_audits += auditor.epoch_audits
+        got = ModelMetrics.from_result(result)
+        if got != metrics:
+            _record_mismatch(
+                report, artifact_dir, trial, policy_name,
+                "differential-backend", metrics, got,
+            )
 
 
 def _cached_leg(

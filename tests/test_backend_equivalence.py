@@ -1,0 +1,198 @@
+"""Object-vs-array kernel equivalence: the bit-identity contract.
+
+The array backend (:mod:`repro.noc.array_sim`) is a pure performance
+refactor — structure-of-arrays state plus a gated-epoch span fast path —
+and its contract is **exact** equality with the object kernel, not
+approximate agreement (see ``docs/backends.md``).  Three layers enforce
+it here:
+
+1. every committed golden fingerprint, re-run with ``backend="array"``,
+2. the fuzzer's deterministic trial generator (a fixed slice of the same
+   schedule the ``--differential-backend`` CLI leg samples), including
+   fault-injection and online-learning legs,
+3. hypothesis-driven random small configs, where the *shape* of the
+   config (topology, flit sizes, buffer depth, epoch length, switching)
+   is the fuzzed surface.
+
+Divergence in any summary field is a bug in the array kernel by
+definition — the object kernel is the reference semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SimConfig
+from repro.core.controller import make_policy
+from repro.experiments.runner import MODEL_NAMES, ModelMetrics
+from repro.noc.array_sim import ArraySimulator
+from repro.noc.simulator import Simulator, run_simulation
+from repro.traffic.benchmarks import generate_benchmark_trace
+from repro.validate.fuzz import build_trial
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from regen_golden import compute_fingerprint, golden_cases, golden_path  # noqa: E402
+
+
+# --------------------------------------------------------------------- #
+# Layer 1: the committed golden matrix, re-run on the array kernel
+# --------------------------------------------------------------------- #
+
+_CASES = golden_cases()
+
+
+@pytest.mark.parametrize(
+    "case", _CASES, ids=[c["id"] for c in _CASES]
+)
+def test_array_backend_matches_committed_golden(case):
+    """Array-kernel fingerprints equal the committed object-kernel ones.
+
+    Every simulation-observable part of the fingerprint must match the
+    JSON on disk exactly; only the echoed config (which records the
+    backend) may differ.
+    """
+    committed = json.loads(golden_path(case["id"]).read_text())
+    arr_case = dict(case, config=dict(case["config"], backend="array"))
+    got = compute_fingerprint(arr_case)
+    assert got["drained"] == committed["drained"]
+    assert got["summary"] == committed["summary"]
+    if "online_ledger" in committed:
+        assert got["online_ledger"] == committed["online_ledger"]
+
+
+# --------------------------------------------------------------------- #
+# Layer 2: fuzzer trials (same generator as --differential-backend)
+# --------------------------------------------------------------------- #
+
+def _run_both(config, trace, policy_name, weights=None, faults=None,
+              online=None):
+    policy_obj = make_policy(policy_name, weights=weights)
+    ref = Simulator(
+        config, trace, policy_obj, faults=faults, online=online
+    ).run()
+    policy_arr = make_policy(policy_name, weights=weights)
+    got = ArraySimulator(
+        config.with_(backend="array"), trace, policy_arr,
+        faults=faults, online=online,
+    ).run()
+    return ref, got
+
+
+def _assert_equal(ref, got, label):
+    assert got.summary() == ref.summary(), (
+        f"{label}: array summary diverged from object summary"
+    )
+    assert got.drained == ref.drained, f"{label}: drained flag diverged"
+    assert ModelMetrics.from_result(got) == ModelMetrics.from_result(ref), (
+        f"{label}: ModelMetrics diverged"
+    )
+
+
+@pytest.mark.parametrize("index", range(6))
+@pytest.mark.parametrize("leg", ["plain", "faults", "online"])
+def test_fuzz_trials_equivalent(index, leg):
+    """A fixed slice of the fuzz schedule, all policies, both kernels."""
+    trial = build_trial(
+        1234, index, faults=(leg == "faults"), online=(leg == "online")
+    )
+    for policy_name in MODEL_NAMES:
+        ref, got = _run_both(
+            trial.config, trial.trace, policy_name,
+            weights=trial.weights_for(policy_name),
+            faults=trial.faults,
+            online=trial.online_for(policy_name),
+        )
+        _assert_equal(ref, got, f"trial {index}/{leg}/{policy_name}")
+
+
+# --------------------------------------------------------------------- #
+# Layer 3: hypothesis over the config shape
+# --------------------------------------------------------------------- #
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    radix=st.integers(min_value=2, max_value=4),
+    epoch_cycles=st.integers(min_value=20, max_value=120),
+    t_idle=st.integers(min_value=1, max_value=6),
+    switching=st.sampled_from(["vct", "wormhole"]),
+    req_flits=st.integers(min_value=1, max_value=2),
+    resp_flits=st.integers(min_value=2, max_value=5),
+    extra_depth=st.integers(min_value=0, max_value=4),
+    policy=st.sampled_from(list(MODEL_NAMES)),
+    bench=st.sampled_from(["bodytrack", "fluidanimate"]),
+    duration=st.integers(min_value=100, max_value=500),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_hypothesis_configs_equivalent(
+    radix, epoch_cycles, t_idle, switching, req_flits, resp_flits,
+    extra_depth, policy, bench, duration, seed,
+):
+    config = SimConfig(
+        topology="mesh",
+        radix=radix,
+        epoch_cycles=epoch_cycles,
+        t_idle=t_idle,
+        switching=switching,
+        request_flits=req_flits,
+        response_flits=resp_flits,
+        buffer_depth=max(req_flits, resp_flits) + extra_depth,
+        horizon_ns=None,
+        seed=seed,
+    )
+    trace = generate_benchmark_trace(
+        bench, num_cores=config.num_cores,
+        duration_ns=float(duration), seed=seed,
+    )
+    weights = None
+    if policy in ("lead", "dozznoc", "turbo"):
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(0.0, 0.3, size=5)
+    ref, got = _run_both(config, trace, policy, weights=weights)
+    _assert_equal(ref, got, f"hypothesis {policy}/{bench}")
+
+
+# --------------------------------------------------------------------- #
+# Dispatch + lane-export sanity
+# --------------------------------------------------------------------- #
+
+def test_run_simulation_dispatches_on_backend():
+    """``backend="array"`` must actually select the array kernel."""
+    config = SimConfig(topology="mesh", radix=2, epoch_cycles=50,
+                       horizon_ns=200.0)
+    trace = generate_benchmark_trace("bodytrack", num_cores=4,
+                                     duration_ns=150.0)
+    ref = run_simulation(config, trace, make_policy("baseline"))
+    got = run_simulation(
+        config.with_(backend="array"), trace, make_policy("baseline")
+    )
+    assert got.summary() == ref.summary()
+
+
+def test_lanes_export_shape():
+    """The SoA lane export is (routers,), want is (routers, 5)."""
+    config = SimConfig(topology="mesh", radix=3, epoch_cycles=50,
+                       horizon_ns=200.0, backend="array")
+    trace = generate_benchmark_trace("bodytrack", num_cores=9,
+                                     duration_ns=150.0)
+    sim = ArraySimulator(config, trace, make_policy("baseline"))
+    sim.run()
+    lanes = sim.lanes()
+    n = 9
+    assert lanes["occ_total"].shape == (n,)
+    assert lanes["res_total"].shape == (n,)
+    assert lanes["busy_max"].shape == (n,)
+    assert lanes["want"].shape == (n, 5)
+    # a drained run ends with empty buffers and no reservations
+    assert int(lanes["occ_total"].sum()) == 0
+    assert int(lanes["res_total"].sum()) == 0
