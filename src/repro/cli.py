@@ -9,6 +9,8 @@ points without writing any Python:
 * ``dozznoc campaign [--compressed] [--cmesh]`` — the full evaluation,
 * ``dozznoc telemetry DIR [DIR2]`` — tabulate, diff or validate telemetry
   directories written by ``run``/``campaign`` ``--telemetry``,
+* ``dozznoc serve --store results.db`` — long-running HTTP/JSON service
+  (submit runs/campaigns, poll progress, batched ``/predict``),
 * ``dozznoc list`` — available benchmarks, policies and experiments.
 """
 
@@ -600,6 +602,23 @@ def _cmd_model_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    serve_forever(
+        ServeConfig(
+            store_path=args.store,
+            cache_dir=args.cache_dir,
+            registry_dir=args.registry,
+            workers=args.workers,
+            task_timeout=args.task_timeout,
+            host=args.host,
+            port=args.port,
+        )
+    )
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("benchmarks:", ", ".join(sorted(BENCHMARKS)))
     print("policies:  ", ", ".join(sorted(POLICIES)))
@@ -841,6 +860,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     registry_arg(m_gc)
     m_gc.set_defaults(fn=_cmd_model_gc)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running HTTP/JSON service: submit runs/campaigns, poll "
+             "progress, query the SQLite results store, batched /predict",
+    )
+    p_serve.add_argument("--store", required=True, metavar="DB",
+                         help="SQLite results database (created if missing)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="shared run cache; served jobs and CLI "
+                              "campaigns pointed here share entries")
+    p_serve.add_argument("--registry", default=None, metavar="DIR",
+                         help="model registry; enables /predict from each "
+                              "policy's active model")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="job worker threads (default 1)")
+    p_serve.add_argument("--task-timeout", type=float, default=None,
+                         help="per-simulation wall-clock budget in seconds")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8734)
+    p_serve.set_defaults(fn=_cmd_serve)
 
     sub.add_parser("list", help="list benchmarks/policies/experiments").set_defaults(
         fn=_cmd_list

@@ -317,12 +317,15 @@ def run_campaign(
     campaign: CampaignConfig,
     jobs: int | None = None,
     cache: RunCache | None = None,
+    progress: "callable | None" = None,
 ) -> CampaignResult:
     """Execute the full train-then-test evaluation.
 
     ``jobs`` overrides ``campaign.jobs``; ``cache`` overrides the run
     cache derived from ``campaign.cache_dir`` (pass an explicit
     :class:`RunCache` to inspect hit/miss statistics afterwards).
+    ``progress(done, total)`` fires per completed evaluation task (see
+    :func:`repro.exec.pool.run_sim_tasks`); observation only.
     """
     jobs = campaign.jobs if jobs is None else jobs
     if cache is None:
@@ -427,6 +430,7 @@ def run_campaign(
                     journal=journal,
                     timeout=campaign.task_timeout,
                     health=health,
+                    progress=progress,
                 )
             )
     finally:

@@ -879,6 +879,15 @@ class Simulator:
                 if corrupted is not None:
                     features = corrupted
                     self.stats.features_corrupted += 1
+                    # Only a proactive DVFS decision actually *consumes*
+                    # the poisoned vector (a reactive epoch — e.g. online
+                    # warmup without warm-start weights — reuses measured
+                    # IBU).  Nothing can change the weights between here
+                    # and the decision, so this classification is exact;
+                    # the auditor checks predictor_fallbacks_fault
+                    # against it one-for-one.
+                    if self.policy.proactive and self.policy.uses_dvfs:
+                        self.stats.features_corrupted_predicting += 1
         self.policy.on_epoch(router, self, features)
         if self._telemetry is not None:
             # Post-decision, pre-reset: epoch accumulators are still live

@@ -1,0 +1,33 @@
+"""Long-running HTTP/JSON service over the simulator (``dozznoc serve``).
+
+Submit single runs and campaigns, poll their progress, query persisted
+results from a schema-versioned SQLite store, and get batched
+predictions from the model registry's active models — all over plain
+HTTP with nothing beyond the standard library.  See ``docs/serve.md``.
+"""
+
+from repro.serve.app import ServeApp, ServeConfig, TestClient, serve_forever
+from repro.serve.batching import MAX_BATCH_ROWS, PredictError, PredictionBatcher
+from repro.serve.queue import BadRequest, JobQueue
+from repro.serve.store import (
+    STORE_SCHEMA_VERSION,
+    ServeStore,
+    ServeStoreError,
+    canonical_json,
+)
+
+__all__ = [
+    "MAX_BATCH_ROWS",
+    "STORE_SCHEMA_VERSION",
+    "BadRequest",
+    "JobQueue",
+    "PredictError",
+    "PredictionBatcher",
+    "ServeApp",
+    "ServeConfig",
+    "ServeStore",
+    "ServeStoreError",
+    "TestClient",
+    "canonical_json",
+    "serve_forever",
+]

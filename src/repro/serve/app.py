@@ -1,0 +1,288 @@
+"""HTTP/JSON application for ``dozznoc serve``.
+
+The application is split into a *pure dispatcher* and a thin transport:
+
+* :meth:`ServeApp.handle` maps ``(method, path, body)`` to
+  ``(status, payload)`` with no socket anywhere in sight.  Tests drive
+  it in-process through :class:`TestClient` and exercise exactly the
+  code the real server runs.
+* :func:`serve_forever` wraps the dispatcher in a stdlib
+  ``ThreadingHTTPServer``.  Only the standard library is used — the
+  service degrades to any Python the simulator itself runs on.
+
+Endpoints
+---------
+
+====== ============================== ==========================================
+POST   /runs                          submit a single run; ``{"id": ...}``
+POST   /campaigns                     submit a campaign; ``{"id": ...}``
+GET    /runs                          list run jobs (``?status=`` filter)
+GET    /campaigns                     list campaign jobs
+GET    /runs/{id}/status              state + progress (poll this)
+GET    /campaigns/{id}/status         state + progress
+GET    /runs/{id}/result              persisted metrics (404 until done)
+GET    /campaigns/{id}/result         persisted summary rows (404 until done)
+POST   /predict                       ``{"policy": p, "rows": [[...], ...]}``
+GET    /healthz                       liveness + store/batcher counters
+====== ============================== ==========================================
+
+All request and response bodies are JSON.  Errors come back as
+``{"error": msg}`` with 400 (bad request), 404 (unknown id/route) or
+405 (wrong method).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.batching import PredictError, PredictionBatcher
+from repro.serve.queue import BadRequest, JobQueue
+from repro.serve.store import ServeStore
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``dozznoc serve`` needs to come up."""
+
+    store_path: str
+    cache_dir: str | None = None
+    registry_dir: str | None = None
+    workers: int = 1
+    task_timeout: float | None = None
+    host: str = "127.0.0.1"
+    port: int = 8734
+
+
+class ServeApp:
+    """Route table + handlers over the store, queue and batcher."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.store = ServeStore(config.store_path)
+        self.queue = JobQueue(
+            self.store,
+            cache_dir=config.cache_dir,
+            workers=config.workers,
+            task_timeout=config.task_timeout,
+        )
+        self.batcher: PredictionBatcher | None = None
+        if config.registry_dir is not None:
+            from repro.models.registry import ModelRegistry
+
+            self.batcher = PredictionBatcher(
+                ModelRegistry(config.registry_dir)
+            )
+
+    def close(self) -> None:
+        self.queue.close(drain=False)
+        if self.batcher is not None:
+            self.batcher.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
+        """Pure request dispatch: ``(status_code, response_payload)``.
+
+        Never raises for client errors — they become 4xx payloads — so
+        the transport layer stays a dumb pipe.
+        """
+        try:
+            return self._route(method.upper(), path.rstrip("/") or "/", body)
+        except BadRequest as exc:
+            return 400, {"error": str(exc)}
+        except PredictError as exc:
+            return 400, {"error": str(exc)}
+
+    def _route(self, method: str, path: str, body) -> tuple[int, dict]:
+        query = ""
+        if "?" in path:
+            path, query = path.split("?", 1)
+        parts = [p for p in path.split("/") if p]
+
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            payload = {
+                "status": "ok",
+                "store": self.store.counts(),
+                "jobs_executed": self.queue.jobs_executed,
+                "jobs_failed": self.queue.jobs_failed,
+            }
+            if self.batcher is not None:
+                payload["predict"] = {
+                    "flushes": self.batcher.flushes,
+                    "rows_served": self.batcher.rows_served,
+                }
+            return 200, payload
+
+        if path == "/predict":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return self._predict(body)
+
+        if parts and parts[0] in ("runs", "campaigns"):
+            kind = "run" if parts[0] == "runs" else "campaign"
+            if len(parts) == 1:
+                if method == "POST":
+                    if body is None:
+                        raise BadRequest("missing JSON body")
+                    job_id = self.queue.submit(kind, body)
+                    return 202, {"id": job_id, "status": "queued"}
+                if method == "GET":
+                    status = _query_param(query, "status")
+                    return 200, {
+                        "jobs": self.store.list_jobs(kind, status=status)
+                    }
+                return 405, {"error": "use GET or POST"}
+            if len(parts) == 3 and method == "GET":
+                job_id, leaf = parts[1], parts[2]
+                job = self.store.get_job(kind, job_id)
+                if job is None:
+                    return 404, {"error": f"no such {kind} {job_id!r}"}
+                if leaf == "status":
+                    return 200, _status_payload(job)
+                if leaf == "result":
+                    return self._result(kind, job)
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _result(self, kind: str, job: dict) -> tuple[int, dict]:
+        if job["status"] == "failed":
+            return 200, {
+                "id": job["id"], "status": "failed", "error": job["error"]
+            }
+        if job["status"] != "done":
+            return 404, {
+                "error": f"{kind} {job['id']} is {job['status']}; "
+                "poll .../status until done"
+            }
+        payload = {"id": job["id"], "status": "done"}
+        for name in self.store.list_summaries(job["id"]):
+            payload[name] = self.store.get_summary(job["id"], name)
+        return 200, payload
+
+    def _predict(self, body) -> tuple[int, dict]:
+        if self.batcher is None:
+            return 400, {
+                "error": "prediction is disabled: start the service with "
+                "--registry DIR"
+            }
+        if not isinstance(body, dict):
+            raise BadRequest("missing JSON body")
+        policy = body.get("policy")
+        rows = body.get("rows")
+        if not isinstance(policy, str):
+            raise BadRequest("field 'policy' must be a string")
+        if (not isinstance(rows, list) or not rows
+                or not all(
+                    isinstance(r, list)
+                    and all(isinstance(v, (int, float)) for v in r)
+                    for r in rows
+                )):
+            raise BadRequest(
+                "field 'rows' must be a non-empty list of numeric rows"
+            )
+        predictions = self.batcher.predict(policy, rows)
+        return 200, {"policy": policy, "predictions": predictions}
+
+
+def _query_param(query: str, name: str) -> str | None:
+    for pair in query.split("&"):
+        if pair.startswith(f"{name}="):
+            return pair.split("=", 1)[1]
+    return None
+
+
+def _status_payload(job: dict) -> dict:
+    return {
+        "id": job["id"],
+        "status": job["status"],
+        "progress": {
+            "done": job["progress_done"],
+            "total": job["progress_total"],
+        },
+        "submitted_at": job["submitted_at"],
+        "started_at": job["started_at"],
+        "finished_at": job["finished_at"],
+        "error": job["error"],
+    }
+
+
+class TestClient:
+    """In-process client driving :meth:`ServeApp.handle` directly.
+
+    The tests use this instead of sockets: same dispatch, same payloads,
+    no ports, no flakiness.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+
+    def get(self, path: str) -> tuple[int, dict]:
+        return self.app.handle("GET", path, None)
+
+    def post(self, path: str, body: dict | None = None) -> tuple[int, dict]:
+        return self.app.handle("POST", path, body)
+
+
+def _make_handler(app: ServeApp):
+    class Handler(BaseHTTPRequestHandler):
+        # Silence per-request stderr lines; /healthz covers liveness.
+        def log_message(self, fmt, *args):  # noqa: D102
+            pass
+
+        def _respond(self, status: int, payload: dict) -> None:
+            raw = json.dumps(payload, sort_keys=True).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def _dispatch(self, method: str) -> None:
+            body = None
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                try:
+                    body = json.loads(self.rfile.read(length))
+                except json.JSONDecodeError:
+                    self._respond(400, {"error": "body is not valid JSON"})
+                    return
+            status, payload = self.app.handle(method, self.path, body)
+            self._respond(status, payload)
+
+        def do_GET(self) -> None:  # noqa: N802
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+    Handler.app = app
+    return Handler
+
+
+def serve_forever(config: ServeConfig) -> None:
+    """Run the service until interrupted (the CLI entry point)."""
+    app = ServeApp(config)
+    server = ThreadingHTTPServer(
+        (config.host, config.port), _make_handler(app)
+    )
+    print(
+        f"dozznoc serve: listening on http://{config.host}:{config.port} "
+        f"(store {config.store_path}, "
+        f"cache {config.cache_dir or 'disabled'}, "
+        f"registry {config.registry_dir or 'disabled'})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()

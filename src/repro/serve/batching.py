@@ -1,0 +1,180 @@
+"""Request batching for the ``/predict`` endpoint.
+
+Concurrent HTTP prediction requests are coalesced into one
+:func:`repro.models.online.batch_predict` call per flush.  Because
+``batch_predict`` is row-stable — row *i*'s result never depends on the
+batch size — coalescing is a pure latency optimization: a request gets
+bit-identical output whether it flushed alone or alongside 63 strangers.
+That property is what makes batching safe to enable unconditionally; the
+tests in ``tests/test_serve_app.py`` assert it end to end.
+
+Weights come from the model registry's ``active.json`` pointer, resolved
+per policy and cached per fingerprint for the server's lifetime (a
+promotion during serving is picked up because the *pointer* is re-read
+on each flush; only the immutable weight blobs are cached).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.models.online import batch_predict
+from repro.models.registry import ModelRegistry
+
+#: Upper bound on rows per flush; requests beyond this wait for the next
+#: flush cycle.  Keeps worst-case flush latency bounded under load.
+MAX_BATCH_ROWS = 256
+
+
+class PredictError(ReproError):
+    """A prediction request cannot be served (no active model, bad row)."""
+
+
+@dataclass
+class _Pending:
+    """One caller's rows, parked until a flush resolves them."""
+
+    policy: str
+    rows: np.ndarray
+    event: threading.Event = field(default_factory=threading.Event)
+    result: np.ndarray | None = None
+    error: Exception | None = None
+
+
+class PredictionBatcher:
+    """Coalesce concurrent predict calls into row-stable batch flushes.
+
+    ``predict(policy, rows)`` blocks the calling (HTTP handler) thread
+    until a background flusher has resolved its rows.  The flusher wakes
+    whenever work arrives, drains everything pending (grouped by policy,
+    FIFO within a policy, capped at :data:`MAX_BATCH_ROWS` rows per
+    flush), runs one ``batch_predict`` per policy group, and hands each
+    caller back exactly its own slice.
+
+    Parameters
+    ----------
+    registry:
+        Registry whose ``active.json`` pointer names the serving model
+        per policy.
+    linger_s:
+        How long the flusher lingers after waking before draining, to
+        give concurrent requests a window to pile into the same batch.
+        Zero is valid (flush immediately; still correct, just smaller
+        batches).
+    """
+
+    def __init__(self, registry: ModelRegistry, linger_s: float = 0.002) -> None:
+        self.registry = registry
+        self.linger_s = float(linger_s)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: list[_Pending] = []
+        self._weights_cache: dict[str, np.ndarray] = {}
+        self._closed = False
+        self.flushes = 0
+        self.rows_served = 0
+        self._thread = threading.Thread(
+            target=self._flush_loop, name="predict-flusher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Caller side
+    # ------------------------------------------------------------------ #
+
+    def predict(self, policy: str, rows: list[list[float]]) -> list[float]:
+        """Block until the batcher has predicted for ``rows``.
+
+        Raises :class:`PredictError` for an unknown/inactive policy or
+        malformed rows; the error surfaces on the calling thread.
+        """
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise PredictError("rows must be a non-empty 2-D array of floats")
+        entry = _Pending(policy=policy, rows=arr)
+        with self._lock:
+            if self._closed:
+                raise PredictError("batcher is shut down")
+            self._pending.append(entry)
+            self._wake.notify()
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.result is not None
+        return [float(v) for v in entry.result]
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._wake.notify()
+        self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+    # Flusher side
+    # ------------------------------------------------------------------ #
+
+    def _weights_for(self, policy: str) -> np.ndarray:
+        record = self.registry.active(policy)
+        if record is None:
+            raise PredictError(
+                f"no active model for policy {policy!r} "
+                "(promote one with `dozznoc model promote`)"
+            )
+        cached = self._weights_cache.get(record.fingerprint)
+        if cached is None:
+            cached = record.weights_array()
+            self._weights_cache[record.fingerprint] = cached
+        return cached
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._wake.wait()
+                if self._closed and not self._pending:
+                    return
+            if self.linger_s > 0.0:
+                # Linger outside the lock so arrivals can queue behind us.
+                threading.Event().wait(self.linger_s)
+            with self._lock:
+                batch: list[_Pending] = []
+                rows = 0
+                while self._pending and rows < MAX_BATCH_ROWS:
+                    entry = self._pending.pop(0)
+                    batch.append(entry)
+                    rows += entry.rows.shape[0]
+            self._flush(batch)
+
+    def _flush(self, batch: list[_Pending]) -> None:
+        by_policy: dict[str, list[_Pending]] = {}
+        for entry in batch:
+            by_policy.setdefault(entry.policy, []).append(entry)
+        for policy, entries in by_policy.items():
+            try:
+                weights = self._weights_for(policy)
+                stacked = np.vstack([e.rows for e in entries])
+                if stacked.shape[1] != weights.shape[0]:
+                    raise PredictError(
+                        f"feature rows have {stacked.shape[1]} columns; "
+                        f"active {policy!r} model expects {weights.shape[0]}"
+                    )
+                out = batch_predict(stacked, weights)
+            except Exception as exc:  # surface on every caller's thread
+                for entry in entries:
+                    entry.error = exc
+                    entry.event.set()
+                continue
+            offset = 0
+            for entry in entries:
+                n = entry.rows.shape[0]
+                entry.result = out[offset : offset + n]
+                offset += n
+                entry.event.set()
+            self.flushes += 1
+            self.rows_served += int(out.shape[0])

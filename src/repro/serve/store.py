@@ -1,0 +1,290 @@
+"""SQLite results store for the serve layer.
+
+Every job the service accepts — single runs and campaigns — lands in a
+schema-versioned SQLite database instead of loose JSON files, so results
+are *queryable* after the fact: list jobs by state, pull one job's
+summary, join campaign rows back to their submitting request.
+
+Design points:
+
+* **WAL mode** — readers (the polling status endpoints) never block the
+  writer (the job queue), and a crash mid-write leaves a consistent
+  database.
+* **Schema versioning** — ``meta(schema_version)`` is checked on open; a
+  mismatched database is refused loudly (:class:`ServeStoreError`), never
+  silently migrated, mirroring the run cache's discard-never-trust rule.
+* **One table per concern** — ``runs`` (single-run jobs), ``campaigns``
+  (campaign jobs), ``summaries`` (result payloads, one row per named
+  summary document, canonical sorted-key JSON so byte-level comparisons
+  against CLI outputs are meaningful).
+* **Thread safety** — the service handles each HTTP request on its own
+  thread and executes jobs on worker threads; every public method opens a
+  short-lived connection, so there is no shared-connection state to
+  corrupt.  SQLite serializes the actual writes.
+
+The store never computes anything: the queue owns execution and calls
+into here at state transitions.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from repro.common.errors import ReproError
+
+#: Bump when the table layout changes; an existing database with a
+#: different version is refused, never migrated in place.
+STORE_SCHEMA_VERSION = 1
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id            TEXT PRIMARY KEY,
+    status        TEXT NOT NULL,
+    submitted_at  REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL,
+    request_json  TEXT NOT NULL,
+    error         TEXT,
+    progress_done INTEGER NOT NULL DEFAULT 0,
+    progress_total INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id            TEXT PRIMARY KEY,
+    status        TEXT NOT NULL,
+    submitted_at  REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL,
+    request_json  TEXT NOT NULL,
+    error         TEXT,
+    progress_done INTEGER NOT NULL DEFAULT 0,
+    progress_total INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS summaries (
+    job_id  TEXT NOT NULL,
+    name    TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (job_id, name)
+);
+"""
+
+#: Legal job states and the transitions the queue drives.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class ServeStoreError(ReproError):
+    """The results database is unusable (wrong schema, corrupt)."""
+
+
+def canonical_json(payload) -> str:
+    """The store's canonical serialization: sorted keys, no whitespace
+    drift.  Byte-identical inputs produce byte-identical rows, which the
+    HTTP-vs-CLI determinism tests compare directly."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ServeStore:
+    """Queryable job + result store backed by one SQLite file.
+
+    Parameters
+    ----------
+    path:
+        Database file (parent directories created).  ``":memory:"`` is
+        rejected — every public method opens a fresh connection, and an
+        in-memory database would vanish between them.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        if str(path) == ":memory:":
+            raise ServeStoreError(
+                "ServeStore needs a file path (connections are per-call)"
+            )
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Serialize schema creation across this process's threads; the
+        # per-call connections handle cross-process locking via SQLite.
+        self._init_lock = threading.Lock()
+        with self._init_lock, self._connect() as conn:
+            conn.executescript(_TABLES)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(STORE_SCHEMA_VERSION)),
+                )
+            elif int(row[0]) != STORE_SCHEMA_VERSION:
+                raise ServeStoreError(
+                    f"results store {self.path} has schema {row[0]}, this "
+                    f"build expects {STORE_SCHEMA_VERSION}; refusing to "
+                    f"touch it (move it aside or point --store elsewhere)"
+                )
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    @staticmethod
+    def _table(kind: str) -> str:
+        if kind not in ("run", "campaign"):
+            raise ValueError(f"unknown job kind {kind!r}")
+        return "runs" if kind == "run" else "campaigns"
+
+    # ------------------------------------------------------------------ #
+    # Job lifecycle (called by the queue)
+    # ------------------------------------------------------------------ #
+
+    def create_job(self, kind: str, job_id: str, request: dict) -> None:
+        """Record a freshly accepted job in state ``queued``."""
+        table = self._table(kind)
+        with self._connect() as conn:
+            conn.execute(
+                f"INSERT INTO {table} (id, status, submitted_at, request_json)"
+                " VALUES (?, 'queued', ?, ?)",
+                (job_id, time.time(), canonical_json(request)),
+            )
+
+    def mark_running(self, kind: str, job_id: str) -> None:
+        table = self._table(kind)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE {table} SET status='running', started_at=? "
+                "WHERE id=?",
+                (time.time(), job_id),
+            )
+
+    def set_progress(self, kind: str, job_id: str, done: int, total: int) -> None:
+        table = self._table(kind)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE {table} SET progress_done=?, progress_total=? "
+                "WHERE id=?",
+                (int(done), int(total), job_id),
+            )
+
+    def mark_done(self, kind: str, job_id: str) -> None:
+        table = self._table(kind)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE {table} SET status='done', finished_at=? WHERE id=?",
+                (time.time(), job_id),
+            )
+
+    def mark_failed(self, kind: str, job_id: str, error: str) -> None:
+        table = self._table(kind)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE {table} SET status='failed', finished_at=?, error=? "
+                "WHERE id=?",
+                (time.time(), str(error)[:4000], job_id),
+            )
+
+    def put_summary(self, job_id: str, name: str, payload) -> None:
+        """Persist one named result document (canonical JSON)."""
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO summaries (job_id, name, payload) "
+                "VALUES (?, ?, ?)",
+                (job_id, name, canonical_json(payload)),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries (called by the HTTP layer)
+    # ------------------------------------------------------------------ #
+
+    def get_job(self, kind: str, job_id: str) -> dict | None:
+        """One job row as a plain dict (request JSON decoded), or None."""
+        table = self._table(kind)
+        with self._connect() as conn:
+            row = conn.execute(
+                f"SELECT * FROM {table} WHERE id=?", (job_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        out = dict(row)
+        out["request"] = json.loads(out.pop("request_json"))
+        return out
+
+    def list_jobs(self, kind: str, status: str | None = None) -> list[dict]:
+        """All jobs of one kind, newest first, optionally state-filtered."""
+        table = self._table(kind)
+        query = (
+            f"SELECT id, status, submitted_at, finished_at, "
+            f"progress_done, progress_total FROM {table}"
+        )
+        params: tuple = ()
+        if status is not None:
+            query += " WHERE status=?"
+            params = (status,)
+        query += " ORDER BY submitted_at DESC"
+        with self._connect() as conn:
+            rows = conn.execute(query, params).fetchall()
+        return [dict(r) for r in rows]
+
+    def get_summary(self, job_id: str, name: str):
+        """One named result document (decoded), or None."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT payload FROM summaries WHERE job_id=? AND name=?",
+                (job_id, name),
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def get_summary_text(self, job_id: str, name: str) -> str | None:
+        """One named result document's exact stored bytes (str), or None.
+
+        The determinism tests compare these bytes against a freshly
+        canonicalized CLI result, so any drift in what the serve path
+        persisted is visible at the byte level.
+        """
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT payload FROM summaries WHERE job_id=? AND name=?",
+                (job_id, name),
+            ).fetchone()
+        return None if row is None else row[0]
+
+    def list_summaries(self, job_id: str) -> list[str]:
+        """Names of every persisted document for one job."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT name FROM summaries WHERE job_id=? ORDER BY name",
+                (job_id,),
+            ).fetchall()
+        return [r[0] for r in rows]
+
+    def counts(self) -> dict:
+        """Row counts per table plus per-state job tallies."""
+        with self._connect() as conn:
+            out: dict = {"schema_version": STORE_SCHEMA_VERSION}
+            for table in ("runs", "campaigns", "summaries"):
+                out[table] = conn.execute(
+                    f"SELECT COUNT(*) FROM {table}"
+                ).fetchone()[0]
+            for kind, table in (("run", "runs"), ("campaign", "campaigns")):
+                out[f"{kind}_states"] = {
+                    r[0]: r[1]
+                    for r in conn.execute(
+                        f"SELECT status, COUNT(*) FROM {table} "
+                        "GROUP BY status"
+                    ).fetchall()
+                }
+        return out
+
+    def journal_mode(self) -> str:
+        """The active SQLite journal mode (``wal`` once initialized)."""
+        with self._connect() as conn:
+            return str(
+                conn.execute("PRAGMA journal_mode").fetchone()[0]
+            ).lower()

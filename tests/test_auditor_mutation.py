@@ -77,6 +77,12 @@ MUTATIONS = [
     ("phantom-forced-wake",
      lambda sim: setattr(sim.stats, "forced_wakes", 1),
      "fault-accounting"),
+    ("phantom-fault-lane-fallback",
+     lambda sim: setattr(sim.stats, "predictor_fallbacks_fault", 1),
+     "fault-accounting"),
+    ("phantom-online-lane-fallback",
+     lambda sim: setattr(sim.stats, "predictor_fallbacks_online", 1),
+     "fault-accounting"),
     ("firing-scheduled-in-past",
      lambda sim: setattr(sim.network.routers[0], "next_event_tick",
                          sim.now_tick - 1),
@@ -125,6 +131,32 @@ def test_fault_scheduler_ledger_mismatch_is_caught():
     auditor = InvariantAuditor()
     auditor.on_end(sim, drained=True)
     sim.stats.link_faults += 1
+    with pytest.raises(AuditError) as excinfo:
+        auditor.on_end(sim, drained=True)
+    assert excinfo.value.check == "fault-accounting"
+
+
+def test_fault_lane_fallback_check_still_bites_with_scheduler():
+    """Splitting predictor fallbacks by cause must not blunt the fault
+    lane: with injection active, drifting the fault-lane counter away
+    from the corrupted-while-predicting tally is still caught exactly."""
+    sim = _finished_sim("dozznoc", faults=FaultConfig.moderate(seed=1))
+    auditor = InvariantAuditor()
+    auditor.on_end(sim, drained=True)  # clean ledger passes first
+    sim.stats.predictor_fallbacks_fault += 1
+    with pytest.raises(AuditError) as excinfo:
+        auditor.on_end(sim, drained=True)
+    assert excinfo.value.check == "fault-accounting"
+    assert "fault-lane" in str(excinfo.value) or "fallback" in str(excinfo.value)
+
+
+def test_corrupted_predicting_cannot_exceed_corrupted():
+    """features_corrupted_predicting is a subset tally of
+    features_corrupted; an overshoot is a kernel accounting bug."""
+    sim = _finished_sim("dozznoc", faults=FaultConfig.moderate(seed=1))
+    auditor = InvariantAuditor()
+    auditor.on_end(sim, drained=True)
+    sim.stats.features_corrupted_predicting = sim.stats.features_corrupted + 1
     with pytest.raises(AuditError) as excinfo:
         auditor.on_end(sim, drained=True)
     assert excinfo.value.check == "fault-accounting"

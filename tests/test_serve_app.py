@@ -1,0 +1,316 @@
+"""Endpoint tests for the serve application, driven in-process.
+
+Every test goes through :class:`repro.serve.TestClient`, which calls the
+same ``ServeApp.handle`` dispatch the real ``ThreadingHTTPServer``
+handler uses — so these cover the service's behaviour without sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.models.online import batch_predict
+from repro.models.registry import ModelRegistry
+from repro.serve import ServeApp, ServeConfig, TestClient
+
+RUN_REQ = {"policy": "dozznoc", "benchmark": "blackscholes",
+           "duration_ns": 600.0}
+
+
+@pytest.fixture()
+def app(tmp_path):
+    app = ServeApp(
+        ServeConfig(
+            store_path=str(tmp_path / "results.db"),
+            cache_dir=str(tmp_path / "cache"),
+        )
+    )
+    yield app
+    app.close()
+
+
+@pytest.fixture()
+def client(app):
+    return TestClient(app)
+
+
+def _registry_with_active(tmp_path, policy="dozznoc",
+                          weights=(0.5, -0.25, 2.0)):
+    registry = ModelRegistry(tmp_path / "models")
+    record = registry.register(
+        policy=policy, feature_set_name="reduced",
+        feature_names=("a", "b", "c"), epoch_cycles=100, lam=0.1,
+        weights=list(weights), train_rmse=0.1, validation_rmse=0.1,
+        validation_accuracy=0.9,
+    )
+    registry.promote(record.fingerprint)
+    return registry
+
+
+@pytest.fixture()
+def predict_app(tmp_path):
+    _registry_with_active(tmp_path)
+    app = ServeApp(
+        ServeConfig(
+            store_path=str(tmp_path / "results.db"),
+            registry_dir=str(tmp_path / "models"),
+        )
+    )
+    yield app
+    app.close()
+
+
+class TestRouting:
+    def test_healthz(self, client):
+        status, payload = client.get("/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["store"]["runs"] == 0
+
+    def test_unknown_route_is_404(self, client):
+        status, payload = client.get("/nope")
+        assert status == 404
+        assert "error" in payload
+
+    def test_wrong_method_is_405(self, client):
+        assert client.post("/healthz")[0] == 405
+        assert client.get("/predict")[0] == 405
+
+    def test_submit_without_body_is_400(self, client):
+        status, payload = client.post("/runs", None)
+        assert status == 400
+        assert "body" in payload["error"]
+
+
+class TestRunJobs:
+    def test_submit_poll_result_round_trip(self, app, client):
+        status, payload = client.post("/runs", RUN_REQ)
+        assert status == 202
+        job_id = payload["id"]
+        app.queue.wait_idle()
+
+        status, st = client.get(f"/runs/{job_id}/status")
+        assert status == 200
+        assert st["status"] == "done"
+        assert st["progress"] == {"done": 1, "total": 1}
+        assert st["error"] is None
+
+        status, result = client.get(f"/runs/{job_id}/result")
+        assert status == 200
+        metrics = result["metrics"]
+        assert metrics["model"] == "dozznoc"
+        assert metrics["drained"] is True
+        assert metrics["packets_delivered"] > 0
+
+    def test_result_before_done_is_404(self, app, client):
+        # A job id that exists in the store but has no result yet.
+        app.store.create_job("run", "pending", RUN_REQ)
+        status, payload = client.get("/runs/pending/result")
+        assert status == 404
+        assert "poll" in payload["error"]
+
+    def test_status_of_unknown_job_is_404(self, client):
+        assert client.get("/runs/ghost/status")[0] == 404
+        assert client.get("/campaigns/ghost/result")[0] == 404
+
+    def test_list_and_status_filter(self, app, client):
+        _, payload = client.post("/runs", RUN_REQ)
+        app.queue.wait_idle()
+        status, listing = client.get("/runs")
+        assert status == 200
+        assert [j["id"] for j in listing["jobs"]] == [payload["id"]]
+        _, done = client.get("/runs?status=done")
+        assert len(done["jobs"]) == 1
+        _, queued = client.get("/runs?status=queued")
+        assert queued["jobs"] == []
+
+    @pytest.mark.parametrize(
+        "bad,match",
+        [
+            ({"policy": "nope"}, "unknown policy"),
+            ({"benchmark": "nope"}, "unknown benchmark"),
+            ({"duration_ns": -5.0}, "must be > 0"),
+            ({"duration_ns": "long"}, "must be float"),
+            ({"seed": 1.5}, "must be int"),
+            ({"audit": "yes"}, "must be a boolean"),
+            ({"typo_field": 1}, "unknown field"),
+        ],
+    )
+    def test_invalid_requests_are_synchronous_400s(self, client, bad, match):
+        status, payload = client.post("/runs", {**RUN_REQ, **bad})
+        assert status == 400
+        assert match in payload["error"]
+
+    def test_rejected_request_creates_no_job(self, app, client):
+        client.post("/runs", {"policy": "nope"})
+        assert app.store.counts()["runs"] == 0
+
+
+class TestCampaignJobs:
+    def test_small_campaign_round_trip(self, app, client):
+        req = {"duration_ns": 600.0, "models": ["baseline", "dozznoc"]}
+        status, payload = client.post("/campaigns", req)
+        assert status == 202
+        job_id = payload["id"]
+        app.queue.wait_idle()
+
+        _, st = client.get(f"/campaigns/{job_id}/status")
+        assert st["status"] == "done"
+        assert st["progress"]["done"] == st["progress"]["total"] > 0
+
+        status, result = client.get(f"/campaigns/{job_id}/result")
+        assert status == 200
+        rows = result["campaign-summary"]
+        assert [r["model"] for r in rows] == ["dozznoc"]
+        assert result["undrained"] == []
+
+    def test_unknown_model_is_400(self, client):
+        status, payload = client.post(
+            "/campaigns", {"models": ["baseline", "nope"]}
+        )
+        assert status == 400
+        assert "unknown model" in payload["error"]
+
+    def test_campaign_listing_is_separate_from_runs(self, app, client):
+        client.post("/runs", RUN_REQ)
+        app.queue.wait_idle()
+        _, listing = client.get("/campaigns")
+        assert listing["jobs"] == []
+
+
+class TestPredict:
+    def test_batch_matches_reference(self, predict_app):
+        client = TestClient(predict_app)
+        rows = [[1.0, 2.0, 3.0], [0.0, 0.0, 1.0]]
+        status, payload = client.post(
+            "/predict", {"policy": "dozznoc", "rows": rows}
+        )
+        assert status == 200
+        expected = batch_predict(
+            np.asarray(rows), np.array([0.5, -0.25, 2.0])
+        )
+        assert payload["predictions"] == [float(v) for v in expected]
+
+    def test_concurrent_singles_are_row_stable(self, predict_app):
+        """Coalescing must be invisible: a row predicted alone in a
+        flush equals the same row predicted inside a large batch."""
+        client = TestClient(predict_app)
+        rows = [[float(i), float(i % 3), 1.0] for i in range(24)]
+        _, batched = client.post(
+            "/predict", {"policy": "dozznoc", "rows": rows}
+        )
+        singles: dict[int, float] = {}
+
+        def one(i: int) -> None:
+            _, p = client.post(
+                "/predict", {"policy": "dozznoc", "rows": [rows[i]]}
+            )
+            singles[i] = p["predictions"][0]
+
+        threads = [
+            threading.Thread(target=one, args=(i,)) for i in range(len(rows))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert [singles[i] for i in range(len(rows))] == \
+            batched["predictions"]
+
+    def test_no_active_model_is_400(self, predict_app):
+        client = TestClient(predict_app)
+        status, payload = client.post(
+            "/predict", {"policy": "turbo", "rows": [[1.0, 2.0, 3.0]]}
+        )
+        assert status == 400
+        assert "no active model" in payload["error"]
+
+    def test_wrong_column_count_is_400(self, predict_app):
+        client = TestClient(predict_app)
+        status, payload = client.post(
+            "/predict", {"policy": "dozznoc", "rows": [[1.0, 2.0]]}
+        )
+        assert status == 400
+        assert "columns" in payload["error"]
+
+    def test_malformed_rows_are_400(self, predict_app):
+        client = TestClient(predict_app)
+        for bad in ({"policy": "dozznoc"},
+                    {"policy": "dozznoc", "rows": []},
+                    {"policy": "dozznoc", "rows": [["x"]]},
+                    {"rows": [[1.0]]}):
+            status, _ = client.post("/predict", bad)
+            assert status == 400
+
+    def test_predict_without_registry_is_400(self, client):
+        status, payload = client.post(
+            "/predict", {"policy": "dozznoc", "rows": [[1.0]]}
+        )
+        assert status == 400
+        assert "registry" in payload["error"]
+
+
+class TestHttpTransport:
+    def test_real_socket_round_trip(self, tmp_path):
+        """One pass through the actual ThreadingHTTPServer handler."""
+        import json
+        import urllib.error
+        import urllib.request
+        from http.server import ThreadingHTTPServer
+
+        from repro.serve.app import _make_handler
+
+        app = ServeApp(ServeConfig(store_path=str(tmp_path / "r.db")))
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _make_handler(app))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as resp:
+                assert resp.status == 200
+                assert json.loads(resp.read())["status"] == "ok"
+            data = json.dumps({**RUN_REQ, "duration_ns": 400.0}).encode()
+            req = urllib.request.Request(
+                f"{base}/runs", data=data,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                assert resp.status == 202
+                job_id = json.loads(resp.read())["id"]
+            app.queue.wait_idle()
+            with urllib.request.urlopen(
+                f"{base}/runs/{job_id}/result", timeout=10
+            ) as resp:
+                assert json.loads(resp.read())["metrics"]["drained"] is True
+            bad = urllib.request.Request(
+                f"{base}/runs", data=b"{not json", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(bad, timeout=10)
+            assert excinfo.value.code == 400
+        finally:
+            server.shutdown()
+            server.server_close()
+            app.close()
+
+
+class TestCli:
+    def test_serve_subcommand_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--store", "r.db", "--cache-dir", "c",
+             "--workers", "2", "--port", "9000"]
+        )
+        assert args.store == "r.db"
+        assert args.workers == 2
+        assert args.port == 9000
+
+    def test_serve_requires_store(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])

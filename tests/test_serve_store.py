@@ -1,0 +1,168 @@
+"""Unit tests for the serve layer's SQLite results store."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.serve import (
+    STORE_SCHEMA_VERSION,
+    ServeStore,
+    ServeStoreError,
+    canonical_json,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ServeStore(tmp_path / "results.db")
+
+
+class TestSchema:
+    def test_wal_mode_is_active(self, store):
+        assert store.journal_mode() == "wal"
+
+    def test_schema_version_is_persisted(self, store):
+        with sqlite3.connect(store.path) as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+        assert int(row[0]) == STORE_SCHEMA_VERSION
+
+    def test_reopen_same_version_is_fine(self, store, tmp_path):
+        again = ServeStore(tmp_path / "results.db")
+        assert again.counts()["schema_version"] == STORE_SCHEMA_VERSION
+
+    def test_mismatched_schema_is_refused(self, store, tmp_path):
+        with sqlite3.connect(store.path) as conn:
+            conn.execute(
+                "UPDATE meta SET value='999' WHERE key='schema_version'"
+            )
+        with pytest.raises(ServeStoreError, match="schema 999"):
+            ServeStore(tmp_path / "results.db")
+
+    def test_memory_path_is_refused(self):
+        with pytest.raises(ServeStoreError, match="file path"):
+            ServeStore(":memory:")
+
+    def test_unknown_job_kind_is_refused(self, store):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            store.create_job("banana", "x", {})
+
+
+class TestJobLifecycle:
+    def test_full_round_trip(self, store):
+        store.create_job("run", "j1", {"policy": "dozznoc"})
+        job = store.get_job("run", "j1")
+        assert job["status"] == "queued"
+        assert job["request"] == {"policy": "dozznoc"}
+        assert job["started_at"] is None
+
+        store.mark_running("run", "j1")
+        store.set_progress("run", "j1", 3, 10)
+        job = store.get_job("run", "j1")
+        assert job["status"] == "running"
+        assert (job["progress_done"], job["progress_total"]) == (3, 10)
+        assert job["started_at"] is not None
+
+        store.mark_done("run", "j1")
+        job = store.get_job("run", "j1")
+        assert job["status"] == "done"
+        assert job["finished_at"] is not None
+        assert job["error"] is None
+
+    def test_failure_records_error(self, store):
+        store.create_job("campaign", "c1", {})
+        store.mark_running("campaign", "c1")
+        store.mark_failed("campaign", "c1", "ValueError: boom")
+        job = store.get_job("campaign", "c1")
+        assert job["status"] == "failed"
+        assert "boom" in job["error"]
+
+    def test_kinds_are_separate_tables(self, store):
+        store.create_job("run", "same-id", {"a": 1})
+        store.create_job("campaign", "same-id", {"b": 2})
+        assert store.get_job("run", "same-id")["request"] == {"a": 1}
+        assert store.get_job("campaign", "same-id")["request"] == {"b": 2}
+
+    def test_list_jobs_filters_by_status(self, store):
+        for i in range(3):
+            store.create_job("run", f"j{i}", {})
+        store.mark_running("run", "j1")
+        store.mark_done("run", "j1")
+        assert {j["id"] for j in store.list_jobs("run")} == {"j0", "j1", "j2"}
+        assert [j["id"] for j in store.list_jobs("run", status="done")] == ["j1"]
+        assert len(store.list_jobs("run", status="queued")) == 2
+        assert store.list_jobs("campaign") == []
+
+    def test_missing_job_is_none(self, store):
+        assert store.get_job("run", "nope") is None
+
+
+class TestSummaries:
+    def test_round_trip_and_canonical_bytes(self, store):
+        payload = {"b": [1, 2], "a": {"z": 1.5, "y": "x"}}
+        store.put_summary("j1", "metrics", payload)
+        assert store.get_summary("j1", "metrics") == payload
+        text = store.get_summary_text("j1", "metrics")
+        assert text == canonical_json(payload)
+        assert text == json.dumps(payload, sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_replace_overwrites(self, store):
+        store.put_summary("j1", "metrics", {"v": 1})
+        store.put_summary("j1", "metrics", {"v": 2})
+        assert store.get_summary("j1", "metrics") == {"v": 2}
+        assert store.list_summaries("j1") == ["metrics"]
+
+    def test_list_summaries_sorted(self, store):
+        store.put_summary("j1", "zeta", 1)
+        store.put_summary("j1", "alpha", 2)
+        store.put_summary("j2", "other", 3)
+        assert store.list_summaries("j1") == ["alpha", "zeta"]
+
+    def test_missing_summary_is_none(self, store):
+        assert store.get_summary("j1", "nope") is None
+        assert store.get_summary_text("j1", "nope") is None
+
+
+class TestConcurrency:
+    def test_concurrent_writers_lose_nothing(self, store):
+        """Many threads hammering the store must not drop or corrupt
+        rows — this is the WAL + per-call-connection contract the
+        HTTP handler threads rely on."""
+        threads_n, jobs_per = 8, 20
+        errors: list[Exception] = []
+
+        def writer(t: int) -> None:
+            try:
+                for i in range(jobs_per):
+                    jid = f"t{t}-j{i}"
+                    store.create_job("run", jid, {"t": t, "i": i})
+                    store.mark_running("run", jid)
+                    store.set_progress("run", jid, i, jobs_per)
+                    store.put_summary(jid, "metrics", {"t": t, "i": i})
+                    store.mark_done("run", jid)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        counts = store.counts()
+        assert counts["runs"] == threads_n * jobs_per
+        assert counts["summaries"] == threads_n * jobs_per
+        assert counts["run_states"] == {"done": threads_n * jobs_per}
+        for t in range(threads_n):
+            job = store.get_job("run", f"t{t}-j0")
+            assert job["status"] == "done"
+            assert store.get_summary(f"t{t}-j0", "metrics") == {"t": t, "i": 0}
