@@ -35,6 +35,7 @@ from repro.experiments.figures import (
     fig9_feature_accuracy,
 )
 from repro.experiments.report import format_distribution, format_table
+from repro.experiments.runner import MODEL_NAMES
 from repro.experiments.tables import ALL_TABLES
 from repro.noc.simulator import run_simulation
 from repro.traffic.benchmarks import BENCHMARKS, generate_benchmark_trace
@@ -49,12 +50,17 @@ def _scale(args: argparse.Namespace) -> EvalScale:
     if cache_dir is not None and Path(cache_dir).exists() \
             and not Path(cache_dir).is_dir():
         sys.exit(f"dozznoc: error: --cache-dir {cache_dir!r} is not a directory")
+    duration = getattr(args, "duration", None)
     if getattr(args, "quick", False):
         scale = EvalScale.quick()
     elif getattr(args, "cmesh", False):
         scale = EvalScale.cmesh()
     else:
-        scale = EvalScale(duration_ns=args.duration)
+        scale = EvalScale(duration_ns=duration if duration else 12_000.0)
+    if duration:
+        # An explicit --duration also scales the quick/cmesh profiles
+        # (the sharding chaos harness uses --quick --duration N workers).
+        scale = replace(scale, duration_ns=duration)
     return replace(
         scale,
         jobs=getattr(args, "jobs", 1),
@@ -335,15 +341,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lease_config(args: argparse.Namespace):
+    from repro.exec import LeaseConfig
+
+    return LeaseConfig(
+        duration_s=args.lease_duration, grace_s=args.lease_grace
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     scale = _scale(args)
     if (args.model or args.shadow) and not args.registry:
         sys.exit("dozznoc: error: --model/--shadow require --registry DIR")
+    models = MODEL_NAMES
+    if args.models:
+        # Canonical MODEL_NAMES order regardless of flag order, so every
+        # sharded worker/coordinator derives the identical task list.
+        picked = set(args.models) | {"baseline"}
+        models = tuple(m for m in MODEL_NAMES if m in picked)
+    if args.worker and args.shard_coordinator:
+        sys.exit(
+            "dozznoc: error: --worker and --shard-coordinator are "
+            "mutually exclusive"
+        )
+    if (args.worker or args.shard_coordinator) and not scale.cache_dir:
+        sys.exit(
+            "dozznoc: error: --worker/--shard-coordinator require "
+            "--cache-dir DIR (the shared journal lives there)"
+        )
     campaign = CampaignConfig(
         sim=scale.sim,
         duration_ns=scale.duration_ns,
         compressed=args.compressed,
         seed=args.seed,
+        models=models,
         cache_dir=scale.cache_dir,
         jobs=scale.jobs,
         audit=scale.audit,
@@ -354,8 +385,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         shadow_model=args.shadow,
         promote_on_pass=args.promote_on_pass,
     )
-    cache = campaign_run_cache(campaign)
-    result = run_campaign(campaign, cache=cache)
+
+    if args.worker:
+        from repro.experiments.sharding import run_campaign_worker
+
+        report = run_campaign_worker(
+            campaign,
+            args.worker,
+            lease=_lease_config(args),
+            kill_after_claims=args.chaos_kill_after,
+        )
+        print(f"worker {args.worker!r} finished "
+              f"({report.wid}):")
+        for key, value in sorted(report.as_dict().items()):
+            print(f"  {key:20s} {value}")
+        return 0
+
+    shard_report = None
+    if args.shard_coordinator:
+        from repro.experiments.sharding import coordinate_campaign
+
+        coordinated = coordinate_campaign(
+            campaign,
+            lease=_lease_config(args),
+            salvage_after_s=args.salvage_after,
+            summary_out=args.summary_out,
+        )
+        result = coordinated.result
+        shard_report = coordinated.report
+        cache = None
+    else:
+        cache = campaign_run_cache(campaign)
+        result = run_campaign(campaign, cache=cache)
+        if args.summary_out:
+            from repro.experiments.campaign import write_campaign_summary
+
+            write_campaign_summary(result, args.summary_out)
     rows = [
         (
             _model_cell(row),
@@ -385,6 +450,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"resumed {result.resumed_tasks} task(s) from a previous "
             "attempt's checkpoint journal"
         )
+    if shard_report is not None:
+        print(
+            f"shard: {shard_report.tasks_total} task(s), "
+            f"{shard_report.resumed} resumed, "
+            f"{shard_report.done_cached} cache hit(s), "
+            f"{shard_report.steals} lease steal(s), "
+            f"workers: {', '.join(shard_report.workers) or '-'}"
+        )
+        if shard_report.salvage is not None:
+            s = shard_report.salvage
+            print(
+                f"shard: coordinator salvaged {s.committed} task(s) "
+                f"({s.computed} computed, {s.cache_hits} from cache, "
+                f"{s.steals} stolen)"
+            )
+    if args.summary_out:
+        print(f"summary: {args.summary_out}")
     if args.telemetry:
         from repro.telemetry.diff import CAMPAIGN_SUMMARY
         from pathlib import Path
@@ -440,6 +522,21 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.shard:
+        from repro.validate.shard_chaos import run_shard_fuzz
+
+        report = run_shard_fuzz(
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.shard_workers,
+            artifact_dir=args.artifact_dir,
+            replay=args.replay,
+            progress=(None if args.quiet else
+                      (lambda line: print(line, flush=True))),
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
     from repro.validate.fuzz import run_fuzz
 
     report = run_fuzz(
@@ -663,7 +760,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="regenerate one figure")
     p_fig.add_argument("name", choices=["fig5", "fig6", "fig7", "fig8", "fig9"])
     p_fig.add_argument("--quick", action="store_true", help="small fast profile")
-    p_fig.add_argument("--duration", type=float, default=12_000.0)
+    p_fig.add_argument("--duration", type=float, default=None,
+                       help="trace duration in ns (default 12000; also "
+                            "overrides the --quick profile's duration)")
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1=serial, 0=all CPUs)")
     p_fig.add_argument("--cache-dir", default=None,
@@ -728,8 +827,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--compressed", action="store_true")
     p_camp.add_argument("--cmesh", action="store_true")
     p_camp.add_argument("--quick", action="store_true")
-    p_camp.add_argument("--duration", type=float, default=12_000.0)
+    p_camp.add_argument("--duration", type=float, default=None,
+                        help="trace duration in ns (default 12000; also "
+                             "overrides the --quick profile's duration)")
     p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--models", nargs="+", choices=sorted(MODEL_NAMES),
+                        default=None, metavar="MODEL",
+                        help="subset of models to evaluate (baseline is "
+                             "always included; default: all five)")
     p_camp.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1=serial, 0=all CPUs)")
     p_camp.add_argument("--cache-dir", default=None,
@@ -747,6 +852,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--telemetry", default=None, metavar="DIR",
                         help="write per-task telemetry plus a merged "
                              "campaign-summary into DIR")
+    p_camp.add_argument("--worker", default=None, metavar="ID",
+                        help="run as one sharded worker against the "
+                             "journal in --cache-dir: claim/steal tasks "
+                             "under leases until the campaign is done "
+                             "(see docs/distributed.md)")
+    p_camp.add_argument("--shard-coordinator", action="store_true",
+                        help="watch the shared journal in --cache-dir "
+                             "until every task is done (salvaging "
+                             "stragglers), then assemble the final "
+                             "result exactly as a serial run would")
+    p_camp.add_argument("--lease-duration", type=float, default=5.0,
+                        help="task lease duration in seconds before a "
+                             "dead worker's claim becomes stealable "
+                             "(default 5)")
+    p_camp.add_argument("--lease-grace", type=float, default=1.0,
+                        help="extra clock-skew allowance in seconds "
+                             "before an expired lease is stolen "
+                             "(default 1)")
+    p_camp.add_argument("--salvage-after", type=float, default=10.0,
+                        help="coordinator: seconds without journal "
+                             "progress before it starts executing "
+                             "leftover tasks itself (default 10; 0 = "
+                             "participate immediately)")
+    p_camp.add_argument("--summary-out", default=None, metavar="PATH",
+                        help="write the deterministic campaign summary "
+                             "artifact (byte-identical across serial, "
+                             "parallel and sharded execution)")
+    # Chaos-harness hook: the worker SIGKILLs itself after N successful
+    # lease claims, leaving a held lease over an uncomputed task.
+    p_camp.add_argument("--chaos-kill-after", type=int, default=None,
+                        help=argparse.SUPPRESS)
     p_camp.set_defaults(fn=_cmd_campaign)
 
     p_tel = sub.add_parser(
@@ -787,6 +923,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "per trial (ML policies learn per-epoch)")
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-trial progress lines")
+    p_fuzz.add_argument("--shard", action="store_true",
+                        help="shard-chaos mode: random quick campaigns "
+                             "run serial then sharded across real worker "
+                             "processes (one SIGKILLed mid-claim); the "
+                             "deterministic summaries must be "
+                             "byte-identical")
+    p_fuzz.add_argument("--shard-workers", type=int, default=3,
+                        help="worker processes per --shard trial "
+                             "(default 3)")
     p_fuzz.add_argument(
         "--differential-backend",
         action="store_true",

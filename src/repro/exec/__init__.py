@@ -13,7 +13,16 @@ provides the two pieces that make paper-scale sweeps fast:
 """
 
 from repro.exec.cache import RunCache, code_version, run_key
-from repro.exec.journal import CampaignJournal
+from repro.exec.journal import CampaignJournal, append_record, open_journal
+from repro.exec.shard import (
+    Lease,
+    LeaseConfig,
+    LeaseState,
+    ShardLedger,
+    ShardSession,
+    ShardWorker,
+    WorkerReport,
+)
 from repro.exec.pool import (
     PoolHealth,
     SimTask,
@@ -31,10 +40,18 @@ from repro.exec.pool import (
 
 __all__ = [
     "CampaignJournal",
+    "Lease",
+    "LeaseConfig",
+    "LeaseState",
     "PoolHealth",
     "RunCache",
+    "ShardLedger",
+    "ShardSession",
+    "ShardWorker",
     "SimTask",
     "TrainTask",
+    "WorkerReport",
+    "append_record",
     "code_version",
     "effective_jobs",
     "execute_sim_task",
@@ -42,6 +59,7 @@ __all__ = [
     "execute_train_weights",
     "feature_set_spec",
     "map_tasks",
+    "open_journal",
     "resolve_feature_set",
     "run_key",
     "run_sim_tasks",

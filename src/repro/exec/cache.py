@@ -49,8 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
 #: cached results can never mix model versions or online/offline runs.
 #: v5: ``SimConfig`` gained ``backend`` (object vs array kernel); the
 #: field joins the config digest automatically, but the bump retires v4
-#: entries whose keys predate it.
-SCHEMA_VERSION = 5
+#: entries whose keys predate it.  v6: ``ModelMetrics`` gained
+#: ``drift_alerts`` (drift-monitor trips surfaced in serve status); the
+#: payload field set changed, so older entries must be re-simulated.
+SCHEMA_VERSION = 6
 
 #: Modules whose source determines simulation results.  Editing any of
 #: these changes the code-version digest and invalidates cached runs.
@@ -245,6 +247,32 @@ class RunCache:
         self.hits += 1
         return metrics
 
+    def _write_temp(self, key: str, metrics: ModelMetrics) -> str:
+        """Write a complete, fsynced entry under a per-process temp name.
+
+        The temp name embeds the pid (plus mkstemp's random suffix), so
+        two workers completing the same key in the same cache dir can
+        never collide on the staging file, let alone interleave partial
+        bytes — each writes its own temp file and publishes it whole.
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(_metrics_to_payload(key, metrics))
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".run-{os.getpid()}-", suffix=".tmp", dir=self.cache_dir
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return tmp
+
     def put(self, key: str, metrics: ModelMetrics) -> None:
         """Store one run crash-safely: temp file + fsync + atomic rename.
 
@@ -253,22 +281,40 @@ class RunCache:
         power-loss window where the rename survives but the data does
         not; a kill -9 mid-``put`` leaves at worst an orphaned temp file,
         which readers never look at (entries are addressed by exact name).
+        Concurrent writers of the same key each stage their own per-pid
+        temp file; whichever rename lands last wins whole (the results
+        are content-addressed, so both files hold identical payloads).
         """
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(_metrics_to_payload(key, metrics))
-        fd, tmp = tempfile.mkstemp(
-            prefix=".run-", suffix=".tmp", dir=self.cache_dir
-        )
         try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(payload)
-                fh.flush()
-                os.fsync(fh.fileno())
+            tmp = self._write_temp(key, metrics)
             os.replace(tmp, self.path_for(key))
         except OSError:  # pragma: no cover - cache write is best-effort
+            pass
+
+    def put_new(self, key: str, metrics: ModelMetrics) -> bool:
+        """Store one run only if no entry exists yet; True when stored.
+
+        First-wins publication for the sharding layer: ``os.link`` fails
+        with ``EEXIST`` instead of replacing, so once any worker has
+        committed a result for ``key``, a slower (possibly fenced-off)
+        writer of the same key can never clobber it — its attempt is a
+        no-op and the committed entry stands.
+        """
+        try:
+            tmp = self._write_temp(key, metrics)
+        except OSError:  # pragma: no cover - cache write is best-effort
+            return False
+        try:
+            os.link(tmp, self.path_for(key))
+            return True
+        except FileExistsError:
+            return False
+        except OSError:  # pragma: no cover - cache write is best-effort
+            return False
+        finally:
             try:
                 os.unlink(tmp)
-            except OSError:
+            except OSError:  # pragma: no cover - best-effort cleanup
                 pass
 
     def stats(self) -> dict[str, int]:

@@ -7,11 +7,25 @@ finished, so an interrupted campaign can report precisely how much it
 resumed and a monitoring tool can watch progress without parsing cache
 filenames.
 
-Format: one JSON object per line (JSONL), ``{"key": ..., "cached": ...}``.
-Appends are flushed and fsynced per entry — a ``kill -9`` between tasks
+Format: one JSON object per line (JSONL).  Two record shapes share the
+file:
+
+* ``{"key": K, "cached": bool}`` — a *done* record: task ``K`` finished.
+* ``{"lease": op, "key": K, ...}`` — a *lease* record written by the
+  sharding layer (:mod:`repro.exec.shard`): multiple worker processes
+  coordinating claim/renew/release/steal of unfinished tasks through the
+  same file.  :class:`CampaignJournal` skips these — they never mean a
+  task completed.
+
+Appends go through :func:`append_record`: a **single** ``os.write`` to a
+file descriptor opened with ``O_APPEND``, followed by an fsync.  POSIX
+makes each such append land at the end of the file as one contiguous
+span, so any number of processes can interleave records without ever
+interleaving *bytes* of two records.  A ``kill -9`` between appends
 loses nothing, and one *during* an append loses at most the final,
-truncated line.  :meth:`CampaignJournal.load` therefore tolerates (and
-drops) a malformed tail instead of failing the resume.
+truncated line.  :meth:`CampaignJournal._load` (and the shard ledger's
+replay) therefore tolerates — and drops — malformed lines instead of
+failing the resume.
 """
 
 from __future__ import annotations
@@ -19,6 +33,79 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+
+
+def encode_record(record: dict) -> bytes:
+    """One journal line (newline-terminated), compact and sorted.
+
+    Sorted keys make hand-inspection and tests stable; compactness keeps
+    the single-write atomic-append guarantee comfortable (lines are far
+    below any practical atomic-write threshold).
+    """
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def open_journal(path: str | Path, repair_torn_tail: bool = True) -> int:
+    """Open (creating) a journal for atomic appends; returns the fd.
+
+    ``repair_torn_tail``: when the existing file does not end in a
+    newline (a writer died mid-append), the first thing written is a
+    bare newline so the next record starts on a fresh line instead of
+    gluing onto the tear.  With several live writers this can produce a
+    blank line or a still-unparseable glued line; both are skipped by
+    every reader, and the records they would have carried are simply
+    re-issued (the protocol is loss-tolerant by design).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    if repair_torn_tail:
+        try:
+            size = os.fstat(fd).st_size
+            torn = False
+            if size:
+                with open(path, "rb") as fh:
+                    fh.seek(size - 1)
+                    torn = fh.read(1) != b"\n"
+            if torn:
+                os.write(fd, b"\n")
+        except OSError:  # pragma: no cover - repair is best-effort
+            pass
+    return fd
+
+
+def append_record(fd: int, record: dict, fsync: bool = True) -> None:
+    """Durably append one record: single ``os.write`` + fsync.
+
+    The single write is what makes concurrent multi-process appends
+    safe: ``O_APPEND`` writes are atomic with respect to each other, so
+    records from different workers interleave per-line, never per-byte.
+    """
+    os.write(fd, encode_record(record))
+    if fsync:
+        os.fsync(fd)
+
+
+def iter_records(raw: bytes):
+    """Yield every parseable JSON object from journal bytes, in order.
+
+    Malformed lines (torn appends, glued tears) are silently dropped —
+    a dropped record is always safe: a lost *done* record makes the task
+    re-run idempotently from the cache; a lost *lease* record makes a
+    worker re-issue its claim.
+    """
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict):
+            yield entry
 
 
 class CampaignJournal:
@@ -30,35 +117,32 @@ class CampaignJournal:
         Journal file location; parent directories are created on the
         first append.  An existing file is *resumed*: previously recorded
         keys are loaded and new entries are appended after them.
+
+    Safe for concurrent writers: every ``mark`` is one atomic
+    ``O_APPEND`` write (see :func:`append_record`), so several worker
+    processes sharing a cache dir can all journal into the same file.
+    Lease records written by :mod:`repro.exec.shard` share the file and
+    are ignored here — only done records count as completed work.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._done: set[str] = set()
-        self._fh = None
-        self._torn_tail = False
+        self._fd: int | None = None
         self._load()
 
     def _load(self) -> None:
-        """Read back prior entries, dropping a torn final line."""
+        """Read back prior entries, dropping torn/foreign lines."""
         try:
             raw = self.path.read_bytes()
         except FileNotFoundError:
             return
-        # A file not ending in a newline was torn mid-append; the next
-        # append must start on a fresh line or it merges into the tear.
-        self._torn_tail = bool(raw) and not raw.endswith(b"\n")
-        for line in raw.splitlines():
-            line = line.strip()
-            if not line:
+        for entry in iter_records(raw):
+            if "lease" in entry:
+                # A sharding lease record: coordination traffic, not a
+                # completed task (its "key" names the task being leased).
                 continue
-            try:
-                entry = json.loads(line)
-                key = entry["key"]
-            except (ValueError, KeyError, TypeError):
-                # A torn or corrupted line (interrupted append): the task
-                # it would have recorded simply re-runs — never trusted.
-                continue
+            key = entry.get("key")
             if isinstance(key, str):
                 self._done.add(key)
 
@@ -71,15 +155,9 @@ class CampaignJournal:
         if key in self._done:
             return
         self._done.add(key)
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(self.path, "a", encoding="utf-8")
-            if self._torn_tail:
-                self._fh.write("\n")
-                self._torn_tail = False
-        self._fh.write(json.dumps({"key": key, "cached": cached}) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        if self._fd is None:
+            self._fd = open_journal(self.path)
+        append_record(self._fd, {"key": key, "cached": cached})
 
     def done(self, key: str) -> bool:
         """Whether ``key`` completed in this or a previous attempt."""
@@ -93,9 +171,9 @@ class CampaignJournal:
 
     def close(self) -> None:
         """Release the append handle (safe to call repeatedly)."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "CampaignJournal":
         return self

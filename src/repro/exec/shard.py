@@ -1,0 +1,556 @@
+"""Multi-worker campaign sharding over the checkpoint journal.
+
+N independent worker processes share one ``--cache-dir`` and coordinate
+*only* through atomic appends to the existing ``journal.jsonl``
+(:mod:`repro.exec.journal`): no lock files, no sockets, no shared
+memory.  The journal becomes a replicated log — ``O_APPEND`` single-write
+appends give every record a place in one total order that every reader
+agrees on, and a deterministic replay of that order (the
+:class:`ShardLedger`) decides who holds which task.
+
+Lease records
+-------------
+
+``{"lease": op, "key": K, "wid": W, "worker": name, "seq": n,
+"token": t, "deadline": d, "t": now}`` with ``op`` one of:
+
+* ``claim`` — take an unheld task (idempotent: re-claiming a task you
+  already hold refreshes it; claiming a held task loses).
+* ``renew`` — heartbeat: push the lease deadline forward.
+* ``release`` — give a task up voluntarily.
+* ``steal`` — take a task whose lease expired (dead worker).  A steal is
+  only *valid* if the record's own timestamp is at or past the recorded
+  ``deadline + grace`` — both values come from the log, so every
+  replayer reaches the same verdict regardless of its local clock.
+
+``wid`` is a per-process instance id (worker name + pid + random tag),
+so two operators accidentally launching ``--worker a`` twice can never
+impersonate each other.  ``token`` is the writer's *proposed* fencing
+token; the replay assigns the effective token as
+``max(proposed, previous + 1)`` on every winning claim/steal, which
+makes tokens strictly monotonic per key no matter how stale the
+proposer's view was.
+
+Safety vs. liveness
+-------------------
+
+Clocks only affect **liveness**: a skewed clock can delay (or hasten,
+bounded by ``grace_s``) when a steal becomes eligible.  **Safety** —
+a stolen task's stale writer can never clobber a fresh result — never
+depends on clocks; it follows from three log-ordered checks at commit
+time (:meth:`ShardSession.commit`):
+
+1. the committer must still be the replayed holder (same ``wid`` *and*
+   the same acquisition ``seq``),
+2. its fencing token must equal the key's current effective token
+   (a steal bumped it → the old holder is fenced off),
+3. the cache write is :meth:`~repro.exec.cache.RunCache.put_new` —
+   first-wins, never overwrite — so even a writer that races past the
+   fence check cannot replace a committed entry.
+
+Results are content-addressed and deterministic, so a double-computed
+task yields byte-identical metrics either way; the fencing makes the
+guarantee independent of that, too.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.exec.cache import RunCache
+from repro.exec.journal import append_record, iter_records, open_journal
+from repro.exec.pool import SimTask, execute_sim_task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ModelMetrics
+
+#: Lease operations a journal record may carry.
+LEASE_OPS = ("claim", "renew", "release", "steal")
+
+
+@dataclass(frozen=True)
+class LeaseConfig:
+    """Timing parameters of the lease protocol.
+
+    Every participant sharing a journal must use the same values — the
+    steal-eligibility verdict replays ``deadline + grace_s`` from
+    recorded numbers, so differing ``grace_s`` would make two readers
+    disagree about who holds a task.
+    """
+
+    #: How long one claim/steal/renew holds a task, in seconds.  Must
+    #: comfortably exceed one task's execution time or the heartbeat
+    #: (``duration_s / 3``) carries the lease instead.
+    duration_s: float = 5.0
+    #: Extra slack past the deadline before a steal becomes valid;
+    #: absorbs clock skew between hosts sharing the journal.
+    grace_s: float = 1.0
+
+
+@dataclass
+class LeaseState:
+    """Replayed per-key state: who holds it, behind which token."""
+
+    holder_wid: str | None = None
+    holder_seq: int = -1
+    holder_name: str = ""
+    deadline: float = 0.0
+    token: int = 0
+    done: bool = False
+    done_cached: bool = False
+    steals: int = 0
+
+
+@dataclass
+class Lease:
+    """What a worker holds after a winning claim/steal."""
+
+    key: str
+    seq: int
+    token: int
+    stolen: bool = False
+
+
+class ShardLedger:
+    """Deterministic replay of a journal's done + lease records.
+
+    Incremental: :meth:`refresh` reads only the bytes appended since the
+    last call and folds complete lines into the per-key states.  A
+    trailing partial line (a writer mid-append, or dead mid-append) is
+    left unconsumed until later bytes complete it; if they never do, the
+    next writer's torn-tail repair turns it into a dropped line, which
+    the protocol tolerates (see :mod:`repro.exec.journal`).
+    """
+
+    def __init__(self, path: str | Path, lease: LeaseConfig | None = None) -> None:
+        self.path = Path(path)
+        self.lease = lease or LeaseConfig()
+        self._states: dict[str, LeaseState] = {}
+        self._offset = 0
+        self.malformed = 0
+        #: Display names of every worker whose lease op ever won.
+        self.workers: set[str] = set()
+
+    # -------------------------- reading ------------------------------- #
+
+    def refresh(self) -> None:
+        """Fold any newly appended complete records into the states."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._offset)
+                raw = fh.read()
+        except FileNotFoundError:
+            return
+        if not raw:
+            return
+        # Only consume up to the last complete line; a torn tail stays
+        # for the next refresh (it may still be completed by its writer).
+        end = raw.rfind(b"\n")
+        if end < 0:
+            return
+        complete, self._offset = raw[: end + 1], self._offset + end + 1
+        parsed = 0
+        for record in iter_records(complete):
+            parsed += 1
+            self._apply(record)
+        self.malformed += complete.count(b"\n") - parsed
+
+    def state(self, key: str) -> LeaseState:
+        """The replayed state for ``key`` (a fresh one if never seen)."""
+        st = self._states.get(key)
+        if st is None:
+            st = self._states[key] = LeaseState()
+        return st
+
+    def done(self, key: str) -> bool:
+        return self.state(key).done
+
+    def all_done(self, keys: Sequence[str]) -> bool:
+        return all(self.done(k) for k in keys)
+
+    def done_count(self, keys: Sequence[str]) -> int:
+        return sum(1 for k in keys if self.done(k))
+
+    def steal_count(self) -> int:
+        """Total winning steals across every key (diagnostics)."""
+        return sum(st.steals for st in self._states.values())
+
+    # -------------------------- replay -------------------------------- #
+
+    def _apply(self, record: dict) -> None:
+        key = record.get("key")
+        if not isinstance(key, str):
+            return
+        st = self.state(key)
+        op = record.get("lease")
+        if op is None:
+            # A done record: terminal for the key.  Later lease records
+            # are ignored — the result is committed, nothing to hold.
+            st.done = True
+            st.done_cached = bool(record.get("cached", False))
+            st.holder_wid = None
+            st.holder_seq = -1
+            return
+        if st.done:
+            return
+        wid = record.get("wid")
+        if op not in LEASE_OPS or not isinstance(wid, str):
+            self.malformed += 1
+            return
+        try:
+            seq = int(record.get("seq", -1))
+            token = int(record.get("token", 0))
+            deadline = float(record.get("deadline", 0.0))
+            t = float(record.get("t", 0.0))
+        except (TypeError, ValueError):
+            self.malformed += 1
+            return
+        if op == "claim":
+            # Wins iff the key is free or already held by the same
+            # process instance (idempotent re-claim).
+            if st.holder_wid is None or st.holder_wid == wid:
+                self._grant(st, record, wid, seq, token, deadline)
+        elif op == "steal":
+            # Valid iff the key is free, or the recorded steal time is
+            # past the recorded deadline + grace.  Both operands come
+            # from the log, so every replayer agrees.
+            if st.holder_wid is None:
+                self._grant(st, record, wid, seq, token, deadline)
+            elif t >= st.deadline + self.lease.grace_s:
+                st.steals += 1
+                self._grant(st, record, wid, seq, token, deadline)
+        elif op == "renew":
+            if st.holder_wid == wid:
+                st.deadline = max(st.deadline, deadline)
+        elif op == "release":
+            if st.holder_wid == wid:
+                st.holder_wid = None
+                st.holder_seq = -1
+
+    def _grant(
+        self, st: LeaseState, record: dict, wid: str, seq: int, token: int,
+        deadline: float,
+    ) -> None:
+        st.holder_wid = wid
+        st.holder_seq = seq
+        st.holder_name = str(record.get("worker", wid))
+        self.workers.add(st.holder_name)
+        st.deadline = deadline
+        # Effective fencing token: strictly monotonic per key even when
+        # the proposer's view was stale.
+        st.token = max(token, st.token + 1)
+
+
+class ShardSession:
+    """One participant's identity + appender + replayed view.
+
+    All mutating operations are atomic journal appends followed by a
+    replay refresh; "did I win?" is always answered by the replayed log,
+    never by local assumption.
+    """
+
+    def __init__(
+        self,
+        journal_path: str | Path,
+        worker_id: str,
+        lease: LeaseConfig | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.worker_id = worker_id
+        #: Unique per-process instance id: even two launches sharing a
+        #: ``--worker`` name can never hold (or renew) each other's leases.
+        self.wid = f"{worker_id}:{os.getpid()}:{os.urandom(3).hex()}"
+        self.lease = lease or LeaseConfig()
+        self.clock = clock
+        self.ledger = ShardLedger(journal_path, self.lease)
+        self._fd = open_journal(journal_path)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.claims = 0
+        self.steals = 0
+        self.fenced = 0
+        self.commits = 0
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "ShardSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------- appends ------------------------------- #
+
+    def _append(self, record: dict) -> None:
+        with self._lock:
+            append_record(self._fd, record)
+
+    def _lease_record(self, op: str, key: str, token: int) -> dict:
+        now = self.clock()
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        return {
+            "lease": op,
+            "key": key,
+            "wid": self.wid,
+            "worker": self.worker_id,
+            "seq": seq,
+            "token": token,
+            "deadline": now + self.lease.duration_s,
+            "t": now,
+        }
+
+    # -------------------------- protocol ------------------------------ #
+
+    def try_acquire(self, key: str) -> Lease | None:
+        """Claim a free task or steal an expired one; None on loss.
+
+        The append is optimistic; the *replayed* log decides.  After
+        appending, the session re-reads the journal and only returns a
+        lease if the replay shows this exact (wid, seq) as the holder.
+        """
+        self.ledger.refresh()
+        st = self.ledger.state(key)
+        if st.done:
+            return None
+        now = self.clock()
+        if st.holder_wid is None or st.holder_wid == self.wid:
+            op = "claim"
+        elif now >= st.deadline + self.lease.grace_s:
+            op = "steal"
+        else:
+            return None  # validly held by someone else
+        record = self._lease_record(op, key, st.token + 1)
+        self._append(record)
+        self.ledger.refresh()
+        st = self.ledger.state(key)
+        if st.holder_wid == self.wid and st.holder_seq == record["seq"]:
+            if op == "steal":
+                self.steals += 1
+            self.claims += 1
+            return Lease(
+                key=key, seq=record["seq"], token=st.token,
+                stolen=op == "steal",
+            )
+        return None
+
+    def renew(self, lease: Lease) -> None:
+        """Heartbeat: push the lease deadline forward (holder-checked
+        at replay, so a fenced-off renewal is simply ignored)."""
+        self._append(self._lease_record("renew", lease.key, lease.token))
+
+    def release(self, lease: Lease) -> None:
+        """Voluntarily give the task up (e.g. on a failed execution)."""
+        self._append(self._lease_record("release", lease.key, lease.token))
+
+    def commit(
+        self,
+        lease: Lease,
+        cache: RunCache | None,
+        metrics: "ModelMetrics",
+        cached: bool = False,
+    ) -> bool:
+        """Fenced, first-wins commit of a computed result.
+
+        Returns False — and stores nothing — when the log shows this
+        lease was stolen or superseded (the stale-writer fence), or the
+        task already completed.  On success the cache entry is published
+        first (``put_new``: never overwrites) and the done record is the
+        linearization point that retires the key for every participant.
+        """
+        self.ledger.refresh()
+        st = self.ledger.state(lease.key)
+        if st.done:
+            return False
+        if (
+            st.holder_wid != self.wid
+            or st.holder_seq != lease.seq
+            or st.token != lease.token
+        ):
+            self.fenced += 1
+            return False
+        if cache is not None:
+            cache.put_new(lease.key, metrics)
+        self._append({"key": lease.key, "cached": bool(cached)})
+        st.done = True
+        st.done_cached = bool(cached)
+        st.holder_wid = None
+        st.holder_seq = -1
+        self.commits += 1
+        return True
+
+
+@dataclass
+class WorkerReport:
+    """What one sharded worker actually did (printed by the CLI)."""
+
+    worker_id: str
+    wid: str
+    tasks_total: int
+    committed: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    claims: int = 0
+    steals: int = 0
+    fenced: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "wid": self.wid,
+            "tasks_total": self.tasks_total,
+            "committed": self.committed,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "claims": self.claims,
+            "steals": self.steals,
+            "fenced": self.fenced,
+        }
+
+
+class ShardWorker:
+    """Drives one :class:`ShardSession` over a campaign's task list.
+
+    Loops over the tasks claiming whatever is free (or stealing whatever
+    expired), executes each claimed task through the same
+    :func:`~repro.exec.pool.execute_sim_task` body every other execution
+    path uses, and commits under the fence.  A heartbeat thread renews
+    held leases every ``duration_s / 3`` so long tasks are not stolen
+    from a live worker.  Exits when every task key is done — no matter
+    who did it.
+
+    ``kill_after_claims`` is the chaos hook: the worker SIGKILLs its own
+    process the moment its N-th claim succeeds — lease held, task not
+    computed — which is exactly the state a crashed worker leaves behind
+    and the state lease-stealing exists to recover.
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[SimTask],
+        journal_path: str | Path,
+        cache: RunCache,
+        worker_id: str,
+        lease: LeaseConfig | None = None,
+        kill_after_claims: int | None = None,
+        poll_interval_s: float | None = None,
+        progress: Callable[[int, int], None] | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.tasks = list(tasks)
+        self.cache = cache
+        self.session = ShardSession(
+            journal_path, worker_id, lease=lease, clock=clock
+        )
+        self.keys = [t.cache_key() for t in self.tasks]
+        self.kill_after_claims = kill_after_claims
+        self.poll_interval_s = (
+            poll_interval_s
+            if poll_interval_s is not None
+            else min(0.25, self.session.lease.duration_s / 4)
+        )
+        self.progress = progress
+        self.report = WorkerReport(
+            worker_id=worker_id, wid=self.session.wid,
+            tasks_total=len(self.tasks),
+        )
+        self._held: dict[str, Lease] = {}
+        self._held_lock = threading.Lock()
+        self._stop_heartbeat = threading.Event()
+
+    # ------------------------------------------------------------------ #
+
+    def _heartbeat(self) -> None:
+        interval = max(0.05, self.session.lease.duration_s / 3)
+        while not self._stop_heartbeat.wait(interval):
+            with self._held_lock:
+                held = list(self._held.values())
+            for lease in held:
+                self.session.renew(lease)
+
+    def _progress_tick(self) -> None:
+        if self.progress is not None:
+            self.progress(
+                self.session.ledger.done_count(self.keys), len(self.keys)
+            )
+
+    def run(self) -> WorkerReport:
+        """Work until every task key in the campaign is done."""
+        beat = threading.Thread(
+            target=self._heartbeat, name="shard-heartbeat", daemon=True
+        )
+        beat.start()
+        try:
+            while True:
+                progressed = False
+                for task, key in zip(self.tasks, self.keys):
+                    if self.session.ledger.done(key):
+                        continue
+                    lease = self.session.try_acquire(key)
+                    if lease is None:
+                        continue
+                    with self._held_lock:
+                        self._held[key] = lease
+                    try:
+                        if (
+                            self.kill_after_claims is not None
+                            and self.session.claims >= self.kill_after_claims
+                        ):
+                            # Chaos hook: die exactly as a crashed worker
+                            # would — lease held, result never computed.
+                            os.kill(os.getpid(), signal.SIGKILL)
+                        progressed = True
+                        hit = self.cache.get(key)
+                        if hit is not None:
+                            # Idempotent re-claim of work whose done
+                            # record was lost (torn line) or whose writer
+                            # died between cache publish and done append.
+                            if self.session.commit(
+                                lease, self.cache, hit, cached=True
+                            ):
+                                self.report.committed += 1
+                                self.report.cache_hits += 1
+                            continue
+                        try:
+                            metrics = execute_sim_task(task)
+                        except BaseException:
+                            # Give the task back immediately instead of
+                            # making peers wait out the lease expiry.
+                            self.session.release(lease)
+                            raise
+                        self.report.computed += 1
+                        if self.session.commit(
+                            lease, self.cache, metrics, cached=False
+                        ):
+                            self.report.committed += 1
+                    finally:
+                        with self._held_lock:
+                            self._held.pop(key, None)
+                    self._progress_tick()
+                self.session.ledger.refresh()
+                self._progress_tick()
+                if self.session.ledger.all_done(self.keys):
+                    break
+                if not progressed:
+                    # Everything unfinished is validly held by other
+                    # live workers: wait for them to finish or for their
+                    # leases to expire (then steal).
+                    time.sleep(self.poll_interval_s)
+        finally:
+            self._stop_heartbeat.set()
+            beat.join(timeout=2.0)
+            self.report.claims = self.session.claims
+            self.report.steals = self.session.steals
+            self.report.fenced = self.session.fenced
+            self.session.close()
+        return self.report

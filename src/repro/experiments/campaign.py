@@ -21,6 +21,7 @@ bit-identical results.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -313,32 +314,42 @@ def write_campaign_telemetry(
     return json_path
 
 
-def run_campaign(
+@dataclass
+class CampaignPlan:
+    """Everything a campaign needs *before* any evaluation runs.
+
+    Built by :func:`prepare_campaign` — the trace suite, trained (or
+    registry-served) weights, and the ordered evaluation task list.  The
+    construction is deterministic in the campaign config, which is what
+    lets independent sharded worker processes (see
+    :mod:`repro.experiments.sharding`) rebuild byte-identical task lists
+    and cache keys from nothing but the shared configuration.
+    """
+
+    campaign: CampaignConfig
+    suite: TraceSuite
+    weights: dict[str, np.ndarray]
+    tasks: list[SimTask]
+    served: dict[str, str]  # policy -> registry fingerprint
+    registry: ModelRegistry | None = None
+    candidate: "object | None" = None  # shadow ModelRecord
+
+    def task_keys(self) -> list[str]:
+        """Content addresses of every evaluation task, in task order."""
+        return [t.cache_key() for t in self.tasks]
+
+
+def prepare_campaign(
     campaign: CampaignConfig,
     jobs: int | None = None,
-    cache: RunCache | None = None,
-    progress: "callable | None" = None,
-) -> CampaignResult:
-    """Execute the full train-then-test evaluation.
+    recorder=None,
+) -> CampaignPlan:
+    """Resolve models, build the suite, train, and lay out the tasks.
 
-    ``jobs`` overrides ``campaign.jobs``; ``cache`` overrides the run
-    cache derived from ``campaign.cache_dir`` (pass an explicit
-    :class:`RunCache` to inspect hit/miss statistics afterwards).
-    ``progress(done, total)`` fires per completed evaluation task (see
-    :func:`repro.exec.pool.run_sim_tasks`); observation only.
+    ``recorder`` (a :class:`~repro.telemetry.TelemetryRecorder`) wraps
+    the build/train work in its phase timers when given.
     """
     jobs = campaign.jobs if jobs is None else jobs
-    if cache is None:
-        cache = campaign_run_cache(campaign)
-    journal = campaign_journal(campaign)
-
-    recorder = None
-    health = None
-    if campaign.telemetry_dir is not None:
-        from repro.telemetry import TelemetryRecorder
-
-        recorder = TelemetryRecorder(series=False)
-        health = PoolHealth()
 
     def _phase(name: str):
         return nullcontext() if recorder is None else recorder.phase(name)
@@ -417,29 +428,34 @@ def run_campaign(
         for trace in suite.test
         for model in campaign.models
     ]
-    resumed = 0
-    if journal is not None and len(journal):
-        resumed = sum(1 for t in tasks if journal.done(t.cache_key()))
-    try:
-        with _phase("simulate"):
-            results = iter(
-                run_sim_tasks(
-                    tasks,
-                    jobs=jobs,
-                    cache=cache,
-                    journal=journal,
-                    timeout=campaign.task_timeout,
-                    health=health,
-                    progress=progress,
-                )
-            )
-    finally:
-        if journal is not None:
-            journal.close()
+    return CampaignPlan(
+        campaign=campaign,
+        suite=suite,
+        weights=weights,
+        tasks=tasks,
+        served=served,
+        registry=registry,
+        candidate=candidate,
+    )
 
+
+def assemble_campaign_result(
+    plan: CampaignPlan,
+    metrics_list: "list[ModelMetrics]",
+    resumed: int = 0,
+    promotion: dict | None = None,
+) -> CampaignResult:
+    """Fold per-task metrics (in task order) into a :class:`CampaignResult`.
+
+    The serial path, the serve queue and the shard coordinator all build
+    their final result through here, so a campaign's result shape never
+    depends on *how* it was executed.
+    """
+    campaign = plan.campaign
+    results = iter(metrics_list)
     metrics: dict[str, dict[str, ModelMetrics]] = {}
     normalized: dict[str, dict[str, NormalizedMetrics]] = {}
-    for trace in suite.test:
+    for trace in plan.suite.test:
         per_model = {model: next(results) for model in campaign.models}
         metrics[trace.name] = per_model
         base = per_model["baseline"]
@@ -448,33 +464,191 @@ def run_campaign(
             for m in campaign.models
             if m != "baseline"
         }
-    promotion = None
-    if recorder is not None and health is not None:
-        from repro.telemetry.io import load_summary
-
-        json_path = write_campaign_telemetry(
-            Path(campaign.telemetry_dir), recorder, health, campaign,
-            resumed_tasks=resumed,
-            candidate_fingerprint=(
-                None if candidate is None else candidate.fingerprint
-            ),
-        )
-        meta, _ = load_summary(json_path)
-        promotion = meta.get("promotion")
-        if (
-            campaign.promote_on_pass
-            and registry is not None
-            and candidate is not None
-            and promotion is not None
-            and promotion.get("promoted")
-        ):
-            registry.promote(candidate.fingerprint)
-            promotion = dict(promotion, promoted_in_registry=True)
     return CampaignResult(
         config=campaign,
         metrics=metrics,
         normalized=normalized,
-        weights=weights,
+        weights=plan.weights,
         resumed_tasks=resumed,
         promotion=promotion,
+    )
+
+
+def finalize_campaign_telemetry(
+    plan: CampaignPlan,
+    recorder,
+    health: PoolHealth,
+    resumed: int = 0,
+) -> dict | None:
+    """Write the merged telemetry summary; returns the promotion verdict.
+
+    Applies ``promote_on_pass`` to the registry when the gate passed.
+    """
+    from repro.telemetry.io import load_summary
+
+    campaign = plan.campaign
+    json_path = write_campaign_telemetry(
+        Path(campaign.telemetry_dir), recorder, health, campaign,
+        resumed_tasks=resumed,
+        candidate_fingerprint=(
+            None if plan.candidate is None else plan.candidate.fingerprint
+        ),
+    )
+    meta, _ = load_summary(json_path)
+    promotion = meta.get("promotion")
+    if (
+        campaign.promote_on_pass
+        and plan.registry is not None
+        and plan.candidate is not None
+        and promotion is not None
+        and promotion.get("promoted")
+    ):
+        plan.registry.promote(plan.candidate.fingerprint)
+        promotion = dict(promotion, promoted_in_registry=True)
+    return promotion
+
+
+# ---------------------------------------------------------------------- #
+# Deterministic campaign summary artifact
+# ---------------------------------------------------------------------- #
+
+#: Schema tag inside the deterministic summary payload.
+CAMPAIGN_SUMMARY_SCHEMA = 1
+
+
+def campaign_summary_payload(result: CampaignResult) -> dict:
+    """A campaign's results as a fully deterministic JSON payload.
+
+    Unlike the telemetry ``campaign-summary.json`` (which carries
+    wall-clock phase timers and can never be byte-stable), this payload
+    contains only content: configuration, per-trace metrics, normalized
+    metrics and the averaged summary rows.  Two runs of the same
+    campaign — serial, parallel, or sharded across any number of workers
+    with any number of crashes — serialize to identical bytes, which is
+    what the shard chaos harness asserts.
+    """
+    campaign = result.config
+    sim = {
+        f.name: getattr(campaign.sim, f.name)
+        for f in dataclasses.fields(campaign.sim)
+        if f.name != "extra"
+    }
+    return {
+        "kind": "campaign-summary",
+        "schema": CAMPAIGN_SUMMARY_SCHEMA,
+        "config": {
+            "sim": sim,
+            "duration_ns": campaign.duration_ns,
+            "seed": campaign.seed,
+            "compressed": campaign.compressed,
+            "models": list(campaign.models),
+        },
+        "metrics": {
+            trace: {
+                model: dataclasses.asdict(m)
+                for model, m in per_model.items()
+            }
+            for trace, per_model in result.metrics.items()
+        },
+        "normalized": {
+            trace: {
+                model: dataclasses.asdict(n)
+                for model, n in per_model.items()
+            }
+            for trace, per_model in result.normalized.items()
+        },
+        "summary_rows": result.summary_rows(),
+        "undrained": [list(pair) for pair in result.undrained_runs()],
+    }
+
+
+def campaign_summary_text(result: CampaignResult) -> str:
+    """Canonical serialization of :func:`campaign_summary_payload`."""
+    return (
+        json.dumps(
+            campaign_summary_payload(result),
+            sort_keys=True,
+            separators=(",", ":"),
+            default=float,
+        )
+        + "\n"
+    )
+
+
+def write_campaign_summary(result: CampaignResult, path: str | Path) -> Path:
+    """Write the deterministic summary artifact; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(campaign_summary_text(result))
+    return path
+
+
+def run_campaign(
+    campaign: CampaignConfig,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+    progress: "callable | None" = None,
+    health: PoolHealth | None = None,
+) -> CampaignResult:
+    """Execute the full train-then-test evaluation.
+
+    ``jobs`` overrides ``campaign.jobs``; ``cache`` overrides the run
+    cache derived from ``campaign.cache_dir`` (pass an explicit
+    :class:`RunCache` to inspect hit/miss statistics afterwards).
+    ``progress(done, total)`` fires per completed evaluation task (see
+    :func:`repro.exec.pool.run_sim_tasks`); observation only.
+    ``health`` collects the exec layer's degradation counters (one is
+    created internally when telemetry is enabled; pass your own — the
+    serve queue does — to read them afterwards).
+    """
+    jobs = campaign.jobs if jobs is None else jobs
+    if cache is None:
+        cache = campaign_run_cache(campaign)
+    journal = campaign_journal(campaign)
+
+    recorder = None
+    if campaign.telemetry_dir is not None:
+        from repro.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder(series=False)
+        if health is None:
+            health = PoolHealth()
+
+    plan = prepare_campaign(campaign, jobs=jobs, recorder=recorder)
+    resumed = 0
+    if journal is not None and len(journal):
+        resumed = sum(1 for k in plan.task_keys() if journal.done(k))
+    try:
+        if recorder is None:
+            results = run_sim_tasks(
+                plan.tasks,
+                jobs=jobs,
+                cache=cache,
+                journal=journal,
+                timeout=campaign.task_timeout,
+                health=health,
+                progress=progress,
+            )
+        else:
+            with recorder.phase("simulate"):
+                results = run_sim_tasks(
+                    plan.tasks,
+                    jobs=jobs,
+                    cache=cache,
+                    journal=journal,
+                    timeout=campaign.task_timeout,
+                    health=health,
+                    progress=progress,
+                )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    promotion = None
+    if recorder is not None and health is not None:
+        promotion = finalize_campaign_telemetry(
+            plan, recorder, health, resumed=resumed
+        )
+    return assemble_campaign_result(
+        plan, results, resumed=resumed, promotion=promotion
     )

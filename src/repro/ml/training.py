@@ -20,6 +20,7 @@ matching the paper's per-epoch-size training.
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -179,5 +180,18 @@ def cached_train(
     )
     if cache_dir is not None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        result.model.save(path)
+        # Atomic publish: several sharded workers may train the same
+        # model concurrently against one cache dir.  Each stages a
+        # per-pid .npz and renames it whole, so a reader never loads a
+        # half-written archive (training is deterministic, so whichever
+        # rename lands last is byte-identical anyway).
+        tmp = path.with_name(f".{path.stem}-{os.getpid()}.npz")
+        try:
+            result.model.save(tmp)
+            os.replace(tmp, path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
     return result.model

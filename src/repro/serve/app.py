@@ -75,10 +75,22 @@ class ServeApp:
                 ModelRegistry(config.registry_dir)
             )
 
-    def close(self) -> None:
-        self.queue.close(drain=False)
+    def close(self, graceful: bool = False) -> None:
+        """Stop the queue and batcher.
+
+        ``graceful`` (SIGTERM/SIGINT path) finishes in-flight jobs,
+        leaves queued ones for the next start, marks anything stuck as
+        ``interrupted``, flushes pending /predict rows, and folds the
+        SQLite WAL back into the main database file.
+        """
+        if graceful:
+            self.queue.shutdown()
+        else:
+            self.queue.close(drain=False)
         if self.batcher is not None:
             self.batcher.close()
+        if graceful:
+            self.store.checkpoint()
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -208,6 +220,10 @@ def _status_payload(job: dict) -> dict:
         "started_at": job["started_at"],
         "finished_at": job["finished_at"],
         "error": job["error"],
+        # Degradation surface: exec-pool health counters (salvaged /
+        # retried / inline / timed-out tasks) plus drift-monitor trips,
+        # null until the job has executed.
+        "health": job.get("health"),
     }
 
 
@@ -267,22 +283,51 @@ def _make_handler(app: ServeApp):
 
 
 def serve_forever(config: ServeConfig) -> None:
-    """Run the service until interrupted (the CLI entry point)."""
+    """Run the service until SIGTERM/SIGINT (the CLI entry point).
+
+    Both signals trigger the same graceful drain: stop accepting
+    connections, finish in-flight jobs, leave queued ones in the store
+    (state ``queued``) for the next start to resume, flush the /predict
+    batcher, and checkpoint the SQLite WAL.  A SIGKILLed server skips
+    all of that by definition — restart recovery in
+    :meth:`~repro.serve.queue.JobQueue.resume_pending` covers it.
+    """
+    import signal
+    import threading
+
     app = ServeApp(config)
     server = ThreadingHTTPServer(
         (config.host, config.port), _make_handler(app)
     )
+    if app.queue.jobs_resumed:
+        print(
+            f"dozznoc serve: resumed {app.queue.jobs_resumed} pending "
+            "job(s) from the store"
+        )
     print(
         f"dozznoc serve: listening on http://{config.host}:{config.port} "
         f"(store {config.store_path}, "
         f"cache {config.cache_dir or 'disabled'}, "
         f"registry {config.registry_dir or 'disabled'})"
     )
+
+    def _drain(signum, frame) -> None:
+        # serve_forever() deadlocks if shutdown() is called from its own
+        # thread, and a signal handler runs exactly there — hand off.
+        print(f"dozznoc serve: signal {signum}, draining...", flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
         server.server_close()
-        app.close()
+        app.close(graceful=True)
+        print("dozznoc serve: drained and stopped", flush=True)

@@ -33,7 +33,7 @@ from repro.common.config import SimConfig
 from repro.common.errors import ReproError
 from repro.core.controller import POLICIES
 from repro.exec.cache import RunCache
-from repro.exec.pool import SimTask, run_sim_tasks
+from repro.exec.pool import PoolHealth, SimTask, run_sim_tasks
 from repro.experiments.campaign import (
     CampaignConfig,
     campaign_run_cache,
@@ -72,7 +72,7 @@ RUN_FIELDS = frozenset(
 )
 CAMPAIGN_FIELDS = frozenset(
     {"duration_ns", "seed", "compressed", "cmesh", "audit", "jobs",
-     "models", "faults", "online"}
+     "models", "faults", "online", "coordinate"}
 )
 
 
@@ -145,6 +145,11 @@ def build_campaign_config(
     point the campaign at arbitrary filesystem paths.
     """
     _reject_unknown(request, CAMPAIGN_FIELDS)
+    if _get(request, "coordinate", False, bool) and cache_dir is None:
+        raise BadRequest(
+            "field 'coordinate' requires the service to run with "
+            "--cache-dir (the shard journal lives there)"
+        )
     models = request.get("models", list(MODEL_NAMES))
     if (not isinstance(models, list)
             or not all(isinstance(m, str) for m in models)):
@@ -198,6 +203,7 @@ class JobQueue:
         cache_dir: str | None = None,
         workers: int = 1,
         task_timeout: float | None = None,
+        resume: bool = True,
     ) -> None:
         self.store = store
         self.cache_dir = cache_dir
@@ -207,8 +213,14 @@ class JobQueue:
         )
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
+        self._stopping = False
+        self._active_lock = threading.Lock()
+        self._active: dict[str, tuple[str, str]] = {}  # thread -> (kind, id)
         self.jobs_executed = 0
         self.jobs_failed = 0
+        self.jobs_resumed = 0
+        if resume:
+            self.jobs_resumed = self.resume_pending()
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"serve-worker-{i}", daemon=True
@@ -217,6 +229,22 @@ class JobQueue:
         ]
         for t in self._threads:
             t.start()
+
+    def resume_pending(self) -> int:
+        """Re-enqueue every job a previous process left unfinished.
+
+        Jobs still ``running`` in the store were in flight when the
+        previous server died unmarked; they become ``interrupted`` first.
+        Then everything ``queued`` or ``interrupted`` is requeued in
+        submission order.  Re-execution is idempotent: completed
+        simulations come straight back out of the shared run cache.
+        """
+        self.store.interrupt_running()
+        pending = self.store.pending_jobs()
+        for job in pending:
+            self.store.requeue(job["kind"], job["id"])
+            self._queue.put((job["kind"], job["id"], job["request"]))
+        return len(pending)
 
     # ------------------------------------------------------------------ #
     # Submission (HTTP handler threads)
@@ -253,6 +281,31 @@ class JobQueue:
         for t in self._threads:
             t.join(timeout=10.0)
 
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Graceful stop: finish in-flight jobs, *skip* queued ones.
+
+        Sets the stopping flag so workers drain the queue without
+        executing — skipped jobs keep their ``queued`` store state and
+        are picked back up by :meth:`resume_pending` on the next start.
+        Each worker is given up to ``timeout`` seconds to finish the job
+        it is currently simulating; a job still in flight after that is
+        marked ``interrupted`` (the store outlives us, the thread is a
+        daemon and dies with the process).
+        """
+        import time
+
+        self._closed = True
+        self._stopping = True
+        for _ in self._threads:
+            self._queue.put(None)
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        with self._active_lock:
+            leftovers = list(self._active.values())
+        for kind, job_id in leftovers:
+            self.store.mark_interrupted(kind, job_id)
+
     def wait_idle(self) -> None:
         """Block until every queued job has finished (tests)."""
         self._queue.join()
@@ -268,6 +321,15 @@ class JobQueue:
                 self._queue.task_done()
                 return
             kind, job_id, request = item
+            if self._stopping:
+                # Graceful shutdown: drain without executing.  The job
+                # keeps its 'queued' store state; the next server start
+                # resumes it from there.
+                self._queue.task_done()
+                continue
+            me = threading.current_thread().name
+            with self._active_lock:
+                self._active[me] = (kind, job_id)
             try:
                 self.store.mark_running(kind, job_id)
                 if kind == "run":
@@ -280,6 +342,8 @@ class JobQueue:
                 self.store.mark_failed(kind, job_id, f"{type(exc).__name__}: {exc}")
                 self.jobs_failed += 1
             finally:
+                with self._active_lock:
+                    self._active.pop(me, None)
                 self._queue.task_done()
 
     def _progress(self, kind: str, job_id: str):
@@ -290,15 +354,21 @@ class JobQueue:
 
     def _execute_run(self, job_id: str, request: dict) -> None:
         task = build_run_task(request)
+        health = PoolHealth()
         [metrics] = run_sim_tasks(
             [task],
             jobs=1,
             cache=self.run_cache,
             timeout=self.task_timeout,
+            health=health,
             progress=self._progress("run", job_id),
         )
         self.store.put_summary(
             job_id, "metrics", dataclasses.asdict(metrics)
+        )
+        self.store.set_health(
+            "run", job_id,
+            {**health.as_dict(), "drift_alerts": metrics.drift_alerts},
         )
 
     def _execute_campaign(self, job_id: str, request: dict) -> None:
@@ -307,15 +377,46 @@ class JobQueue:
             campaign = dataclasses.replace(
                 campaign, task_timeout=self.task_timeout
             )
-        result = run_campaign(
-            campaign,
-            cache=campaign_run_cache(campaign),
-            progress=self._progress("campaign", job_id),
-        )
+        health = PoolHealth()
+        if request.get("coordinate", False):
+            # Shard-coordinator mode: drive (or salvage) the campaign
+            # through the lease journal in the shared cache dir.  With
+            # salvage_after_s=0 the coordinator participates immediately,
+            # so the job completes even with zero external workers; any
+            # `dozznoc campaign --worker` processes pointed at the same
+            # cache dir share the load through claim/steal.
+            from repro.experiments.sharding import coordinate_campaign
+
+            coordinated = coordinate_campaign(
+                campaign,
+                salvage_after_s=0.0,
+                progress=self._progress("campaign", job_id),
+            )
+            result = coordinated.result
+            report = coordinated.report
+            health.tasks += report.tasks_total
+            health.cached += report.done_cached
+            self.store.put_summary(job_id, "shard", report.as_dict())
+        else:
+            result = run_campaign(
+                campaign,
+                cache=campaign_run_cache(campaign),
+                progress=self._progress("campaign", job_id),
+                health=health,
+            )
         self.store.put_summary(job_id, "campaign-summary",
                                result.summary_rows())
         self.store.put_summary(
             job_id,
             "undrained",
             [list(pair) for pair in result.undrained_runs()],
+        )
+        drift = sum(
+            m.drift_alerts
+            for per_model in result.metrics.values()
+            for m in per_model.values()
+        )
+        self.store.set_health(
+            "campaign", job_id,
+            {**health.as_dict(), "drift_alerts": drift},
         )

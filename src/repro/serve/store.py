@@ -38,7 +38,9 @@ from repro.common.errors import ReproError
 
 #: Bump when the table layout changes; an existing database with a
 #: different version is refused, never migrated in place.
-STORE_SCHEMA_VERSION = 1
+#: v2: ``health_json`` degradation column on runs/campaigns, plus the
+#: ``interrupted`` job state (graceful-shutdown recovery).
+STORE_SCHEMA_VERSION = 2
 
 _TABLES = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -54,7 +56,8 @@ CREATE TABLE IF NOT EXISTS runs (
     request_json  TEXT NOT NULL,
     error         TEXT,
     progress_done INTEGER NOT NULL DEFAULT 0,
-    progress_total INTEGER NOT NULL DEFAULT 0
+    progress_total INTEGER NOT NULL DEFAULT 0,
+    health_json   TEXT
 );
 CREATE TABLE IF NOT EXISTS campaigns (
     id            TEXT PRIMARY KEY,
@@ -65,7 +68,8 @@ CREATE TABLE IF NOT EXISTS campaigns (
     request_json  TEXT NOT NULL,
     error         TEXT,
     progress_done INTEGER NOT NULL DEFAULT 0,
-    progress_total INTEGER NOT NULL DEFAULT 0
+    progress_total INTEGER NOT NULL DEFAULT 0,
+    health_json   TEXT
 );
 CREATE TABLE IF NOT EXISTS summaries (
     job_id  TEXT NOT NULL,
@@ -75,8 +79,10 @@ CREATE TABLE IF NOT EXISTS summaries (
 );
 """
 
-#: Legal job states and the transitions the queue drives.
-JOB_STATES = ("queued", "running", "done", "failed")
+#: Legal job states and the transitions the queue drives.  ``interrupted``
+#: marks a job the server was executing when it shut down (gracefully or
+#: by SIGKILL); restart requeues it alongside the still-``queued`` jobs.
+JOB_STATES = ("queued", "running", "done", "failed", "interrupted")
 
 
 class ServeStoreError(ReproError):
@@ -190,6 +196,92 @@ class ServeStore:
                 (time.time(), str(error)[:4000], job_id),
             )
 
+    def mark_interrupted(self, kind: str, job_id: str) -> None:
+        """Flag an in-flight job the server could not finish (shutdown).
+
+        Only a ``running`` job can become ``interrupted`` — a job that
+        raced to ``done``/``failed`` in another thread keeps its final
+        state.
+        """
+        table = self._table(kind)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE {table} SET status='interrupted', finished_at=? "
+                "WHERE id=? AND status='running'",
+                (time.time(), job_id),
+            )
+
+    def interrupt_running(self) -> int:
+        """Flip every ``running`` job to ``interrupted`` (startup).
+
+        A freshly started server cannot legitimately have running jobs,
+        so any it finds were in flight when the previous process died
+        without the chance to mark them (SIGKILL, power loss).  Returns
+        how many were flipped.  Assumes one server per store file.
+        """
+        flipped = 0
+        with self._connect() as conn:
+            for table in ("runs", "campaigns"):
+                cur = conn.execute(
+                    f"UPDATE {table} SET status='interrupted', "
+                    "finished_at=? WHERE status='running'",
+                    (time.time(),),
+                )
+                flipped += cur.rowcount
+        return flipped
+
+    def requeue(self, kind: str, job_id: str) -> None:
+        """Send a ``queued``/``interrupted`` job back to state ``queued``.
+
+        Restart recovery: progress and timestamps reset, the original
+        request is untouched, and any partial summaries are superseded
+        when the re-execution lands (idempotent thanks to the run cache).
+        """
+        table = self._table(kind)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE {table} SET status='queued', started_at=NULL, "
+                "finished_at=NULL, error=NULL, progress_done=0 "
+                "WHERE id=? AND status IN ('queued', 'interrupted')",
+                (job_id,),
+            )
+
+    def pending_jobs(self) -> list[dict]:
+        """Every job a restarted server should pick back up.
+
+        ``queued`` jobs (accepted but never started) and ``interrupted``
+        jobs (in flight when the previous process died or shut down),
+        across both kinds, oldest first — the order they were submitted
+        in, which is the order the original process would have run them.
+        """
+        out: list[dict] = []
+        with self._connect() as conn:
+            for kind, table in (("run", "runs"), ("campaign", "campaigns")):
+                rows = conn.execute(
+                    f"SELECT id, request_json, submitted_at FROM {table} "
+                    "WHERE status IN ('queued', 'interrupted')"
+                ).fetchall()
+                out.extend(
+                    {
+                        "kind": kind,
+                        "id": r["id"],
+                        "request": json.loads(r["request_json"]),
+                        "submitted_at": r["submitted_at"],
+                    }
+                    for r in rows
+                )
+        out.sort(key=lambda j: (j["submitted_at"], j["id"]))
+        return out
+
+    def set_health(self, kind: str, job_id: str, health: dict) -> None:
+        """Attach degradation counters (pool health, drift) to one job."""
+        table = self._table(kind)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE {table} SET health_json=? WHERE id=?",
+                (canonical_json(health), job_id),
+            )
+
     def put_summary(self, job_id: str, name: str, payload) -> None:
         """Persist one named result document (canonical JSON)."""
         with self._connect() as conn:
@@ -214,6 +306,8 @@ class ServeStore:
             return None
         out = dict(row)
         out["request"] = json.loads(out.pop("request_json"))
+        raw_health = out.pop("health_json", None)
+        out["health"] = None if raw_health is None else json.loads(raw_health)
         return out
 
     def list_jobs(self, kind: str, status: str | None = None) -> list[dict]:
@@ -288,3 +382,13 @@ class ServeStore:
             return str(
                 conn.execute("PRAGMA journal_mode").fetchone()[0]
             ).lower()
+
+    def checkpoint(self) -> None:
+        """Fold the WAL back into the main database file (shutdown).
+
+        After a clean shutdown the ``-wal`` side file is empty, so the
+        database is a single self-contained file — safe to copy or move
+        without dragging the WAL along.
+        """
+        with self._connect() as conn:
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")

@@ -1,0 +1,442 @@
+"""Kill-resilient chaos harness for sharded campaigns (``fuzz --shard``).
+
+Each trial runs the same campaign twice:
+
+1. **serial golden** — in-process :func:`repro.experiments.campaign.
+   run_campaign`, serialized through the deterministic
+   :func:`~repro.experiments.campaign.campaign_summary_text`;
+2. **sharded chaos** — real ``python -m repro campaign --worker``
+   subprocesses sharing one cache dir.  A *victim* worker runs first
+   with ``--chaos-kill-after K``: it SIGKILLs itself the instant its
+   K-th lease claim succeeds, dying exactly as a crashed worker would —
+   lease held, result never computed.  The remaining workers (plus,
+   sometimes, a restarted worker reusing the victim's name) then run the
+   campaign to completion, which *requires* stealing the dead worker's
+   expired lease.  An in-process coordinator watches the same journal,
+   salvages stragglers, and writes the summary artifact.
+
+The trial passes only if the sharded summary is **byte-identical** to
+the serial golden, the victim actually died by SIGKILL, and at least one
+lease steal was replayed from the journal.  Trials are deterministic:
+trial ``i`` under master seed ``s`` draws its duration, seed, model
+subset, kill point and lease timing from
+``np.random.default_rng((s, 7777, i))``, so a failure replays exactly
+via ``dozznoc fuzz --shard --seed s --replay i``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.exec.shard import LeaseConfig
+from repro.experiments.campaign import (
+    CampaignConfig,
+    campaign_summary_text,
+    run_campaign,
+)
+from repro.experiments.figures import EvalScale
+from repro.experiments.runner import MODEL_NAMES
+from repro.experiments.sharding import coordinate_campaign
+from repro.validate.invariants import write_artifact
+
+#: Per-subprocess wall-clock bound; a worker outliving this is wedged.
+WORKER_TIMEOUT_S = 300.0
+
+
+@dataclass(frozen=True)
+class ShardTrial:
+    """One deterministic chaos case."""
+
+    index: int
+    master_seed: int
+    duration_ns: float
+    campaign_seed: int
+    models: tuple[str, ...]
+    workers: int
+    kill_after: int
+    lease_duration_s: float
+    lease_grace_s: float
+    restart_victim: bool
+
+    def lease(self) -> LeaseConfig:
+        return LeaseConfig(
+            duration_s=self.lease_duration_s, grace_s=self.lease_grace_s
+        )
+
+
+def build_shard_trial(
+    master_seed: int, index: int, workers: int = 3
+) -> ShardTrial:
+    """Draw trial ``index``'s parameters, deterministically.
+
+    The simulator configuration is pinned to the ``--quick`` profile —
+    the CLI worker subprocesses must rebuild the identical task list
+    from flags alone — so the randomness lives where the chaos is:
+    campaign seed/duration (different traces and task costs), the model
+    subset, the kill point, and the lease timing that governs how soon
+    the dead victim's task can be stolen.
+    """
+    rng = np.random.default_rng((master_seed, 7777, index))
+    picked = {"baseline", "pg"}
+    if rng.random() < 0.25:
+        picked.add("lead")  # exercises concurrent training via the cache
+    duration_ns, campaign_seed = _viable_campaign_draw(rng)
+    return ShardTrial(
+        index=index,
+        master_seed=master_seed,
+        duration_ns=duration_ns,
+        campaign_seed=campaign_seed,
+        models=tuple(m for m in MODEL_NAMES if m in picked),
+        workers=max(2, int(workers)),
+        kill_after=int(rng.integers(1, 3)),
+        lease_duration_s=float(np.round(rng.uniform(0.6, 1.2), 2)),
+        lease_grace_s=float(np.round(rng.uniform(0.1, 0.4), 2)),
+        restart_victim=bool(rng.random() < 0.5),
+    )
+
+
+def _viable_campaign_draw(rng: np.random.Generator) -> tuple[float, int]:
+    """Draw (duration_ns, seed) whose trace suite has no empty traces.
+
+    At chaos-sized durations (a few hundred ns) a synthetic trace can
+    legitimately inject zero packets, and a campaign over an empty trace
+    fails by design (baseline normalization divides by its energy).
+    That is a property of the drawn *campaign*, not of the sharding
+    under test — so reject such draws here, advancing the same rng
+    stream, which keeps every trial deterministic in (seed, index).
+    """
+    from repro.traffic.suite import build_suite
+
+    sim = EvalScale.quick().sim
+    last = (0.0, 0)
+    for _ in range(32):
+        duration_ns = float(np.round(rng.uniform(300.0, 650.0), 1))
+        campaign_seed = int(rng.integers(0, 8))
+        last = (duration_ns, campaign_seed)
+        suite = build_suite(
+            num_cores=sim.num_cores, duration_ns=duration_ns,
+            seed=campaign_seed,
+        )
+        if all(
+            len(trace) > 0
+            for trace in (*suite.train, *suite.validation, *suite.test)
+        ):
+            return last
+    raise RuntimeError(
+        f"no viable campaign draw in 32 attempts (last {last}); the "
+        "quick-profile trace generator has likely changed"
+    )
+
+
+def trial_campaign(
+    trial: ShardTrial, cache_dir: str | Path | None
+) -> CampaignConfig:
+    """The campaign a trial evaluates (sharded iff ``cache_dir`` set)."""
+    scale = EvalScale.quick()
+    return CampaignConfig(
+        sim=scale.sim,
+        duration_ns=trial.duration_ns,
+        seed=trial.campaign_seed,
+        models=trial.models,
+        cache_dir=cache_dir,
+        jobs=1,
+    )
+
+
+def worker_command(
+    trial: ShardTrial,
+    cache_dir: str | Path,
+    worker_id: str,
+    kill_after: int | None = None,
+) -> list[str]:
+    """The exact CLI invocation one sharded worker subprocess runs."""
+    cmd = [
+        sys.executable, "-m", "repro", "campaign", "--quick",
+        "--duration", str(trial.duration_ns),
+        "--seed", str(trial.campaign_seed),
+        "--models", *trial.models,
+        "--cache-dir", str(cache_dir),
+        "--worker", worker_id,
+        "--lease-duration", str(trial.lease_duration_s),
+        "--lease-grace", str(trial.lease_grace_s),
+    ]
+    if kill_after is not None:
+        cmd += ["--chaos-kill-after", str(kill_after)]
+    return cmd
+
+
+def _worker_env() -> dict[str, str]:
+    """Subprocess env with this repro package importable."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src_root
+    )
+    return env
+
+
+@dataclass
+class ShardTrialResult:
+    """Everything one chaos trial observed (asserted on by the harness)."""
+
+    trial: ShardTrial
+    serial_text: str
+    sharded_text: str
+    victim_returncode: int
+    worker_returncodes: dict[str, int]
+    steals: int
+    fenced_or_malformed: int
+    workers_seen: list[str]
+
+    @property
+    def byte_identical(self) -> bool:
+        return self.serial_text == self.sharded_text
+
+    @property
+    def victim_killed(self) -> bool:
+        return self.victim_returncode == -signal.SIGKILL
+
+
+def run_shard_trial(
+    trial: ShardTrial, work_dir: str | Path | None = None
+) -> ShardTrialResult:
+    """Run one chaos trial end to end; no assertions, just observation."""
+    ctx = (
+        tempfile.TemporaryDirectory(prefix="shard-chaos-")
+        if work_dir is None else None
+    )
+    root = Path(ctx.name if ctx is not None else work_dir)
+    try:
+        # Serial golden: same campaign, no cache dir, in process.
+        serial = run_campaign(trial_campaign(trial, None))
+        serial_text = campaign_summary_text(serial)
+
+        shared = root / "shared-cache"
+        shared.mkdir(parents=True, exist_ok=True)
+        env = _worker_env()
+
+        # Phase 1 — the victim runs alone and SIGKILLs itself on its
+        # K-th successful claim, leaving a held lease over an
+        # uncomputed task (every task is free, so it always gets there).
+        victim = subprocess.run(
+            worker_command(trial, shared, "victim",
+                           kill_after=trial.kill_after),
+            env=env, capture_output=True, timeout=WORKER_TIMEOUT_S,
+        )
+
+        # Phase 2 — the survivors (plus an optional restart reusing the
+        # victim's worker name) finish the campaign; completing it
+        # requires stealing the dead victim's expired lease.
+        names = [f"w{i}" for i in range(trial.workers - 1)]
+        if trial.restart_victim:
+            names.append("victim")
+        procs = {
+            name: subprocess.Popen(
+                worker_command(trial, shared, name), env=env,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            for name in names
+        }
+        try:
+            coordinated = coordinate_campaign(
+                trial_campaign(trial, shared),
+                lease=trial.lease(),
+                salvage_after_s=max(
+                    5.0,
+                    2 * (trial.lease_duration_s + trial.lease_grace_s),
+                ),
+                summary_out=root / "campaign-summary.json",
+            )
+            returncodes = {
+                name: proc.wait(timeout=WORKER_TIMEOUT_S)
+                for name, proc in procs.items()
+            }
+        finally:
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+
+        return ShardTrialResult(
+            trial=trial,
+            serial_text=serial_text,
+            sharded_text=campaign_summary_text(coordinated.result),
+            victim_returncode=int(victim.returncode),
+            worker_returncodes=returncodes,
+            steals=coordinated.report.steals,
+            fenced_or_malformed=coordinated.report.malformed_lines,
+            workers_seen=list(coordinated.report.workers),
+        )
+    finally:
+        if ctx is not None:
+            ctx.cleanup()
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One recorded chaos failure."""
+
+    trial: int
+    kind: str  # "byte-identity" | "victim" | "worker" | "steal" | "crash"
+    message: str
+    artifact_path: str | None
+
+
+@dataclass
+class ShardFuzzReport:
+    """Outcome of one ``fuzz --shard`` session."""
+
+    master_seed: int
+    trials_run: int
+    kills: int
+    steals: int
+    failures: list[ShardFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"shard-chaos: {self.trials_run} trial(s), {self.kills} "
+            f"SIGKILLed worker(s), {self.steals} lease steal(s), "
+            f"{len(self.failures)} failure(s)  [seed {self.master_seed}]"
+        ]
+        for f in self.failures:
+            where = f"  -> {f.artifact_path}" if f.artifact_path else ""
+            lines.append(
+                f"  FAIL trial {f.trial} [{f.kind}]: {f.message}{where}"
+            )
+        return "\n".join(lines)
+
+
+def _record(
+    report: ShardFuzzReport,
+    artifact_dir: str | Path | None,
+    trial: ShardTrial,
+    kind: str,
+    message: str,
+    result: ShardTrialResult | None = None,
+    journal_src: Path | None = None,
+) -> None:
+    path = None
+    if artifact_dir is not None:
+        payload = {
+            "kind": f"shard-{kind}",
+            "message": message,
+            "trial": dataclasses.asdict(trial),
+            "replay": (
+                f"dozznoc fuzz --shard --seed {trial.master_seed} "
+                f"--replay {trial.index}"
+            ),
+        }
+        if result is not None:
+            payload["victim_returncode"] = result.victim_returncode
+            payload["worker_returncodes"] = result.worker_returncodes
+            payload["steals"] = result.steals
+            payload["workers_seen"] = result.workers_seen
+            payload["serial_summary"] = result.serial_text
+            payload["sharded_summary"] = result.sharded_text
+        path = str(
+            write_artifact(
+                artifact_dir, f"shard-{kind}-trial{trial.index}", payload
+            )
+        )
+        if journal_src is not None and journal_src.exists():
+            # The raw journal is the whole story of who held what when;
+            # park a copy next to the artifact for post-mortems.
+            shutil.copy(
+                journal_src,
+                Path(artifact_dir) / f"journal-trial{trial.index}.jsonl",
+            )
+    report.failures.append(
+        ShardFailure(
+            trial=trial.index, kind=kind, message=message,
+            artifact_path=path,
+        )
+    )
+
+
+def run_shard_fuzz(
+    trials: int,
+    seed: int = 0,
+    workers: int = 3,
+    artifact_dir: str | Path | None = None,
+    replay: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ShardFuzzReport:
+    """Run a shard-chaos session and return its report."""
+    report = ShardFuzzReport(
+        master_seed=seed, trials_run=0, kills=0, steals=0
+    )
+    indices = [replay] if replay is not None else list(range(trials))
+    for index in indices:
+        trial = build_shard_trial(seed, index, workers=workers)
+        report.trials_run += 1
+        with tempfile.TemporaryDirectory(prefix="shard-chaos-") as tmp:
+            journal = Path(tmp) / "shared-cache" / "journal.jsonl"
+            try:
+                result = run_shard_trial(trial, work_dir=tmp)
+            except Exception as exc:
+                _record(
+                    report, artifact_dir, trial, "crash",
+                    f"{type(exc).__name__}: {exc}", journal_src=journal,
+                )
+                continue
+            if result.victim_killed:
+                report.kills += 1
+            else:
+                _record(
+                    report, artifact_dir, trial, "victim",
+                    f"victim exited {result.victim_returncode}, expected "
+                    f"-{int(signal.SIGKILL)} (SIGKILL)",
+                    result=result, journal_src=journal,
+                )
+            report.steals += result.steals
+            if result.steals < 1:
+                _record(
+                    report, artifact_dir, trial, "steal",
+                    "no lease steal replayed from the journal, but the "
+                    "victim died holding one",
+                    result=result, journal_src=journal,
+                )
+            bad = {
+                name: rc
+                for name, rc in result.worker_returncodes.items()
+                if rc != 0
+            }
+            if bad:
+                _record(
+                    report, artifact_dir, trial, "worker",
+                    f"surviving worker(s) exited non-zero: {bad}",
+                    result=result, journal_src=journal,
+                )
+            if not result.byte_identical:
+                _record(
+                    report, artifact_dir, trial, "byte-identity",
+                    "sharded campaign summary differs from the serial "
+                    "golden",
+                    result=result, journal_src=journal,
+                )
+            if progress is not None:
+                progress(
+                    f"trial {index}: victim rc {result.victim_returncode}, "
+                    f"{result.steals} steal(s), "
+                    f"workers {sorted(result.worker_returncodes)}, "
+                    f"summary {'identical' if result.byte_identical else 'DIFFERS'}"
+                    f" ({trial.duration_ns:g} ns, models "
+                    f"{'+'.join(trial.models)})"
+                )
+    return report

@@ -63,6 +63,23 @@ class TestCampaignJournal:
         j = CampaignJournal(tmp_path / "absent.jsonl")
         assert len(j) == 0
 
+    def test_lease_records_are_not_completed_work(self, tmp_path):
+        # Sharding lease traffic (repro.exec.shard) shares the file; its
+        # records carry a "key" too, but only done records count.
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as j:
+            j.mark("done-task")
+        with open(path, "a") as fh:
+            fh.write(json.dumps({
+                "lease": "claim", "key": "leased-task", "wid": "a:1:x",
+                "worker": "a", "seq": 1, "token": 1, "deadline": 10.0,
+                "t": 0.0,
+            }) + "\n")
+        reloaded = CampaignJournal(path)
+        assert reloaded.done("done-task")
+        assert not reloaded.done("leased-task")
+        assert len(reloaded) == 1
+
 
 def _metrics(seed: float):
     from repro.experiments.runner import ModelMetrics

@@ -253,6 +253,126 @@ class TestPredict:
         assert "registry" in payload["error"]
 
 
+class TestDegradationSurface:
+    def test_run_status_exposes_pool_health(self, app, client):
+        _, payload = client.post("/runs", RUN_REQ)
+        app.queue.wait_idle()
+        _, st = client.get(f"/runs/{payload['id']}/status")
+        health = st["health"]
+        assert health is not None
+        assert health["tasks"] == 1
+        for key in ("salvaged", "retried", "inline", "timeouts",
+                    "drift_alerts"):
+            assert key in health
+        assert health["drift_alerts"] == 0
+
+    def test_health_is_null_until_the_job_executes(self, app, client):
+        app.store.create_job("run", "pending", RUN_REQ)
+        _, st = client.get("/runs/pending/status")
+        assert st["health"] is None
+
+
+class TestCoordinatedCampaign:
+    def test_coordinate_without_cache_dir_is_400(self, tmp_path):
+        app = ServeApp(ServeConfig(store_path=str(tmp_path / "r.db")))
+        try:
+            status, payload = TestClient(app).post(
+                "/campaigns", {"duration_ns": 600.0, "coordinate": True}
+            )
+            assert status == 400
+            assert "cache-dir" in payload["error"]
+            assert app.store.counts()["campaigns"] == 0
+        finally:
+            app.close()
+
+    def test_coordinated_campaign_matches_plain_submission(self, app, client):
+        req = {"duration_ns": 600.0, "models": ["baseline", "pg"]}
+        _, plain = client.post("/campaigns", req)
+        _, coordinated = client.post("/campaigns",
+                                     {**req, "coordinate": True})
+        app.queue.wait_idle()
+        _, plain_result = client.get(f"/campaigns/{plain['id']}/result")
+        _, coord_result = client.get(
+            f"/campaigns/{coordinated['id']}/result"
+        )
+        assert coord_result["status"] == "done"
+        # Same campaign, same rows — the lease-journal path changes the
+        # execution topology, never the result.
+        assert (coord_result["campaign-summary"]
+                == plain_result["campaign-summary"])
+        shard = coord_result["shard"]
+        assert shard["tasks_total"] > 0
+        assert shard["malformed_lines"] == 0
+        # The coordinator resumed the plain job's cached tasks instead
+        # of recomputing them.
+        assert shard["resumed"] + shard["done_cached"] > 0 or \
+            shard["salvage"] is not None
+        assert "shard" not in plain_result
+        _, st = client.get(f"/campaigns/{coordinated['id']}/status")
+        assert st["health"]["tasks"] == shard["tasks_total"]
+
+
+class TestGracefulShutdownAndResume:
+    def test_resume_pending_after_a_simulated_crash(self, tmp_path):
+        from repro.serve import ServeStore
+
+        # A SIGKILLed server leaves one job queued and one 'running'.
+        store = ServeStore(tmp_path / "results.db")
+        store.create_job("run", "left-queued", RUN_REQ)
+        store.create_job("run", "left-inflight", RUN_REQ)
+        store.mark_running("run", "left-inflight")
+        del store
+
+        app = ServeApp(
+            ServeConfig(
+                store_path=str(tmp_path / "results.db"),
+                cache_dir=str(tmp_path / "cache"),
+            )
+        )
+        try:
+            assert app.queue.jobs_resumed == 2
+            app.queue.wait_idle()
+            for job_id in ("left-queued", "left-inflight"):
+                job = app.store.get_job("run", job_id)
+                assert job["status"] == "done", (job_id, job["status"])
+                assert app.store.get_summary(job_id, "metrics") is not None
+        finally:
+            app.close()
+
+    def test_graceful_shutdown_leaves_queued_jobs_for_the_next_start(
+        self, tmp_path
+    ):
+        config = ServeConfig(
+            store_path=str(tmp_path / "results.db"),
+            cache_dir=str(tmp_path / "cache"),
+        )
+        app = ServeApp(config)
+        # Force the drain-without-executing path deterministically: with
+        # the stopping flag up, workers pull the job off the queue but
+        # leave its store state 'queued'.
+        app.queue._stopping = True
+        _, payload = TestClient(app).post("/runs", RUN_REQ)
+        app.queue.wait_idle()
+        assert app.store.get_job("run", payload["id"])["status"] == "queued"
+        app.close(graceful=True)
+
+        restarted = ServeApp(config)
+        try:
+            assert restarted.queue.jobs_resumed == 1
+            restarted.queue.wait_idle()
+            job = restarted.store.get_job("run", payload["id"])
+            assert job["status"] == "done"
+        finally:
+            restarted.close()
+
+    def test_submit_after_close_is_refused(self, tmp_path):
+        app = ServeApp(ServeConfig(store_path=str(tmp_path / "r.db")))
+        app.close(graceful=True)
+        status, payload = TestClient(app).post("/runs", RUN_REQ)
+        assert status == 400
+        assert "shutting down" in payload["error"]
+
+
 class TestHttpTransport:
     def test_real_socket_round_trip(self, tmp_path):
         """One pass through the actual ThreadingHTTPServer handler."""

@@ -129,6 +129,79 @@ class TestSummaries:
         assert store.get_summary_text("j1", "nope") is None
 
 
+class TestInterruptionRecovery:
+    def test_mark_interrupted_only_flips_running_jobs(self, store):
+        store.create_job("run", "queued-one", {})
+        store.create_job("run", "running-one", {})
+        store.mark_running("run", "running-one")
+        store.mark_interrupted("run", "queued-one")
+        store.mark_interrupted("run", "running-one")
+        assert store.get_job("run", "queued-one")["status"] == "queued"
+        assert store.get_job("run", "running-one")["status"] == "interrupted"
+
+    def test_interrupt_running_sweeps_both_kinds(self, store):
+        # The startup sweep after a SIGKILLed server: every job the dead
+        # process left 'running' flips to 'interrupted' in one call.
+        store.create_job("run", "r1", {})
+        store.mark_running("run", "r1")
+        store.create_job("campaign", "c1", {})
+        store.mark_running("campaign", "c1")
+        store.create_job("run", "r2", {})
+        store.mark_done("run", "r2")
+        assert store.interrupt_running() == 2
+        assert store.get_job("run", "r1")["status"] == "interrupted"
+        assert store.get_job("campaign", "c1")["status"] == "interrupted"
+        assert store.get_job("run", "r2")["status"] == "done"
+        assert store.interrupt_running() == 0
+
+    def test_requeue_resets_execution_state(self, store):
+        store.create_job("run", "r1", {"x": 1})
+        store.mark_running("run", "r1")
+        store.set_progress("run", "r1", 3, 10)
+        store.mark_interrupted("run", "r1")
+        store.requeue("run", "r1")
+        job = store.get_job("run", "r1")
+        assert job["status"] == "queued"
+        assert job["started_at"] is None and job["finished_at"] is None
+        assert job["error"] is None
+        assert job["progress_done"] == 0
+        # Terminal jobs are never requeued.
+        store.create_job("run", "r2", {})
+        store.mark_running("run", "r2")
+        store.mark_done("run", "r2")
+        store.requeue("run", "r2")
+        assert store.get_job("run", "r2")["status"] == "done"
+
+    def test_pending_jobs_orders_by_submission(self, store):
+        store.create_job("run", "first", {"n": 1})
+        store.create_job("campaign", "second", {"n": 2})
+        store.create_job("run", "third", {"n": 3})
+        store.mark_running("run", "third")
+        store.mark_interrupted("run", "third")
+        store.create_job("run", "done", {})
+        store.mark_running("run", "done")
+        store.mark_done("run", "done")
+        pending = store.pending_jobs()
+        assert [(p["kind"], p["id"]) for p in pending] == [
+            ("run", "first"), ("campaign", "second"), ("run", "third")
+        ]
+        assert pending[0]["request"] == {"n": 1}
+
+    def test_health_round_trips_through_get_job(self, store):
+        store.create_job("run", "r1", {})
+        assert store.get_job("run", "r1")["health"] is None
+        doc = {"tasks": 4, "salvaged": 1, "drift_alerts": 2.0}
+        store.set_health("run", "r1", doc)
+        assert store.get_job("run", "r1")["health"] == doc
+
+    def test_checkpoint_folds_the_wal(self, store):
+        store.create_job("run", "r1", {})
+        store.checkpoint()
+        wal = store.path.with_name(store.path.name + "-wal")
+        assert (not wal.exists()) or wal.stat().st_size == 0
+        assert store.get_job("run", "r1") is not None
+
+
 class TestConcurrency:
     def test_concurrent_writers_lose_nothing(self, store):
         """Many threads hammering the store must not drop or corrupt

@@ -1,0 +1,144 @@
+"""Sharded-campaign chaos: kill -9 a worker, steal its lease, converge.
+
+The acceptance bar for sharding is exact: a campaign executed by N
+workers sharing a cache dir — one of them SIGKILLed mid-claim — must
+produce a ``campaign-summary.json`` byte-identical to a serial run.
+These tests check that bar in-process (coordinator salvaging alone,
+worker + coordinator resume) and for real (subprocess workers via the
+:mod:`repro.validate.shard_chaos` harness, victim dying by SIGKILL).
+"""
+
+import json
+import signal
+
+from repro.common.config import SimConfig
+from repro.experiments.campaign import (
+    CampaignConfig,
+    campaign_summary_text,
+    run_campaign,
+)
+from repro.experiments.sharding import (
+    coordinate_campaign,
+    run_campaign_worker,
+)
+from repro.validate.shard_chaos import (
+    build_shard_trial,
+    run_shard_fuzz,
+    run_shard_trial,
+    worker_command,
+)
+
+QUICK_SIM = SimConfig(topology="mesh", radix=3, epoch_cycles=60)
+
+
+def _campaign(cache_dir, **overrides) -> CampaignConfig:
+    base = dict(
+        sim=QUICK_SIM, duration_ns=700.0, seed=3,
+        models=("baseline", "pg"), cache_dir=cache_dir, jobs=1,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+class TestCoordinatorByteIdentity:
+    def test_coordinator_salvaging_alone_matches_serial(self, tmp_path):
+        # salvage_after_s=0: the coordinator participates immediately and
+        # does every task itself — the degenerate one-worker shard.
+        serial = run_campaign(_campaign(None))
+        coordinated = coordinate_campaign(
+            _campaign(tmp_path / "cache"), salvage_after_s=0.0
+        )
+        assert (
+            campaign_summary_text(coordinated.result)
+            == campaign_summary_text(serial)
+        )
+        report = coordinated.report
+        assert report.tasks_total > 0
+        assert report.resumed == 0 and report.steals == 0
+        assert report.salvage is not None
+        assert report.salvage.committed == report.tasks_total
+
+    def test_worker_finishes_then_coordinator_resumes(self, tmp_path):
+        # A worker completes the whole campaign; a later coordinator
+        # must resume everything from the journal + cache, recompute
+        # nothing, and still emit the identical summary.
+        campaign = _campaign(tmp_path / "cache")
+        worker = run_campaign_worker(campaign, "w0")
+        assert worker.committed == worker.tasks_total
+        assert worker.computed == worker.tasks_total
+        coordinated = coordinate_campaign(campaign, salvage_after_s=0.0)
+        assert coordinated.report.resumed == coordinated.report.tasks_total
+        assert coordinated.report.salvage is None
+        serial = run_campaign(_campaign(None))
+        assert (
+            campaign_summary_text(coordinated.result)
+            == campaign_summary_text(serial)
+        )
+
+    def test_summary_out_writes_the_exact_summary_bytes(self, tmp_path):
+        out = tmp_path / "campaign-summary.json"
+        coordinated = coordinate_campaign(
+            _campaign(tmp_path / "cache"), salvage_after_s=0.0,
+            summary_out=out,
+        )
+        text = out.read_text()
+        assert text == campaign_summary_text(coordinated.result)
+        assert json.loads(text)["kind"] == "campaign-summary"
+
+
+class TestTrialConstruction:
+    def test_trials_are_deterministic_in_seed_and_index(self):
+        assert build_shard_trial(5, 2) == build_shard_trial(5, 2)
+        assert build_shard_trial(5, 2) != build_shard_trial(5, 3)
+        assert build_shard_trial(6, 2) != build_shard_trial(5, 2)
+
+    def test_worker_command_carries_the_full_shard_contract(self, tmp_path):
+        trial = build_shard_trial(0, 0)
+        cmd = worker_command(trial, tmp_path, "w0")
+        assert "--worker" in cmd and "w0" in cmd
+        assert "--cache-dir" in cmd and str(tmp_path) in cmd
+        assert "--lease-duration" in cmd and "--lease-grace" in cmd
+        assert "--chaos-kill-after" not in cmd
+        chaos = worker_command(trial, tmp_path, "victim", kill_after=2)
+        assert chaos[-2:] == ["--chaos-kill-after", "2"]
+
+
+class TestSubprocessChaos:
+    def test_sigkilled_worker_is_stolen_from_and_summary_is_exact(
+        self, tmp_path
+    ):
+        """The acceptance-criteria trial, with real processes.
+
+        The victim worker SIGKILLs itself holding a lease; the surviving
+        workers + coordinator must steal it, finish, and produce a
+        summary byte-identical to the serial golden.
+        """
+        result = run_shard_trial(
+            build_shard_trial(0, 0, workers=3), work_dir=tmp_path
+        )
+        assert result.victim_returncode == -signal.SIGKILL
+        assert result.victim_killed
+        assert result.steals >= 1
+        assert result.worker_returncodes  # survivors actually ran
+        assert all(
+            rc == 0 for rc in result.worker_returncodes.values()
+        ), result.worker_returncodes
+        assert "victim" in result.workers_seen
+        assert result.byte_identical, (
+            result.serial_text, result.sharded_text
+        )
+        # The coordinator wrote the artifact the CI job diffs.
+        out = tmp_path / "campaign-summary.json"
+        assert out.read_text() == result.serial_text
+
+    def test_fuzz_session_reports_clean(self, tmp_path):
+        report = run_shard_fuzz(
+            trials=1, seed=1, workers=3, artifact_dir=tmp_path / "artifacts"
+        )
+        assert report.ok, report.summary()
+        assert report.trials_run == 1
+        assert report.kills == 1
+        assert report.steals >= 1
+        assert "0 failure(s)" in report.summary()
+        # A clean session leaves no failure artifacts behind.
+        assert not (tmp_path / "artifacts").exists()

@@ -1,0 +1,325 @@
+"""Lease protocol adversity: replay rules, fencing, torn tails, races.
+
+The shard ledger (:mod:`repro.exec.shard`) replays journal lease records
+into a per-key holder state every participant agrees on.  These tests
+drive the replay state machine directly with hand-crafted records
+(duplicate and out-of-order claims, premature and valid steals, clock
+skew at the grace boundary, torn tails), prove the commit fence stops a
+stale writer from clobbering a stolen task's fresh result, and race two
+real processes to claim one task — exactly one may win.
+"""
+
+import json
+import multiprocessing
+import os
+
+from repro.exec.cache import RunCache
+from repro.exec.journal import append_record, open_journal
+from repro.exec.shard import LeaseConfig, ShardLedger, ShardSession
+
+LEASE = LeaseConfig(duration_s=5.0, grace_s=1.0)
+
+
+def _append(path, record):
+    fd = open_journal(path)
+    try:
+        append_record(fd, record)
+    finally:
+        os.close(fd)
+
+
+def _lease(op, key, wid, seq=1, token=1, deadline=10.0, t=0.0, worker=None):
+    return {
+        "lease": op, "key": key, "wid": wid, "worker": worker or wid,
+        "seq": seq, "token": token, "deadline": deadline, "t": t,
+    }
+
+
+def _ledger(path):
+    ledger = ShardLedger(path, LEASE)
+    ledger.refresh()
+    return ledger
+
+
+class TestLedgerReplay:
+    def test_claim_wins_a_free_key(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1, token=1))
+        st = _ledger(path).state("k")
+        assert st.holder_wid == "a:1:x" and st.holder_seq == 1
+        assert st.token == 1 and not st.done
+
+    def test_claim_on_a_held_key_loses(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1))
+        _append(path, _lease("claim", "k", "b:2:y", seq=1, token=2))
+        st = _ledger(path).state("k")
+        assert st.holder_wid == "a:1:x"
+
+    def test_duplicate_claims_by_holder_are_idempotent(self, tmp_path):
+        # The same process instance re-claiming refreshes its own lease
+        # (new seq, pushed deadline) instead of conflicting with itself.
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1, deadline=10.0))
+        _append(path, _lease("claim", "k", "a:1:x", seq=7, deadline=20.0))
+        st = _ledger(path).state("k")
+        assert st.holder_wid == "a:1:x" and st.holder_seq == 7
+        assert st.deadline == 20.0
+
+    def test_file_order_decides_between_racing_claims(self, tmp_path):
+        # Out-of-order timestamps don't matter: the journal's append
+        # order is the total order, so the earlier *line* wins even when
+        # its recorded clock is later.
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "late-clock", seq=1, t=99.0))
+        _append(path, _lease("claim", "k", "early-clock", seq=1, t=1.0))
+        assert _ledger(path).state("k").holder_wid == "late-clock"
+
+    def test_steal_before_deadline_plus_grace_is_invalid(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1, deadline=10.0))
+        # grace_s=1.0: a steal recorded at t=10.5 is inside the skew
+        # bound and must lose; one at exactly deadline+grace wins.
+        _append(path, _lease("steal", "k", "b:2:y", seq=1, t=10.5,
+                             deadline=16.0))
+        st = _ledger(path).state("k")
+        assert st.holder_wid == "a:1:x" and st.steals == 0
+        _append(path, _lease("steal", "k", "b:2:y", seq=2, t=11.0,
+                             deadline=16.5))
+        st = _ledger(path).state("k")
+        assert st.holder_wid == "b:2:y" and st.steals == 1
+
+    def test_steal_verdict_is_replayed_from_recorded_times(self, tmp_path):
+        # Two independent replayers agree on who holds the key because
+        # the verdict compares the *recorded* t against the *recorded*
+        # deadline + grace — never a local clock.
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1, deadline=10.0))
+        _append(path, _lease("steal", "k", "b:2:y", seq=1, t=11.0,
+                             deadline=17.0))
+        first, second = _ledger(path), _ledger(path)
+        assert first.state("k").holder_wid == "b:2:y"
+        assert second.state("k").holder_wid == first.state("k").holder_wid
+        assert second.state("k").token == first.state("k").token
+
+    def test_fencing_token_is_strictly_monotonic(self, tmp_path):
+        # Even a stale proposer (re-proposing an old token) bumps the
+        # effective token: max(proposed, previous + 1).
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1, token=1))
+        _append(path, _lease("steal", "k", "b:2:y", seq=1, token=1,
+                             t=99.0, deadline=104.0))
+        st = _ledger(path).state("k")
+        assert st.token == 2
+        _append(path, _lease("release", "k", "b:2:y", seq=2))
+        _append(path, _lease("claim", "k", "c:3:z", seq=1, token=0))
+        st = _ledger(path).state("k")
+        assert st.holder_wid == "c:3:z" and st.token == 3
+
+    def test_renew_and_release_require_the_holder(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1, deadline=10.0))
+        _append(path, _lease("renew", "k", "b:2:y", seq=1, deadline=50.0))
+        _append(path, _lease("release", "k", "b:2:y", seq=2))
+        st = _ledger(path).state("k")
+        assert st.holder_wid == "a:1:x" and st.deadline == 10.0
+        _append(path, _lease("renew", "k", "a:1:x", seq=2, deadline=30.0))
+        assert _ledger(path).state("k").deadline == 30.0
+        _append(path, _lease("release", "k", "a:1:x", seq=3))
+        assert _ledger(path).state("k").holder_wid is None
+
+    def test_done_is_terminal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, {"key": "k", "cached": False})
+        _append(path, _lease("claim", "k", "a:1:x", seq=1))
+        _append(path, _lease("steal", "k", "b:2:y", seq=1, t=999.0))
+        st = _ledger(path).state("k")
+        assert st.done and st.holder_wid is None and st.steals == 0
+
+    def test_torn_lease_tail_stays_unconsumed_until_completed(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k1", "a:1:x", seq=1))
+        full = json.dumps(_lease("claim", "k2", "b:2:y", seq=1))
+        with open(path, "a") as fh:
+            fh.write(full[: len(full) // 2])  # no newline: torn mid-append
+        ledger = _ledger(path)
+        assert ledger.state("k1").holder_wid == "a:1:x"
+        assert ledger.state("k2").holder_wid is None
+        assert ledger.malformed == 0
+        # The writer survives and finishes its line: the next refresh
+        # picks the now-complete record up.
+        with open(path, "a") as fh:
+            fh.write(full[len(full) // 2:] + "\n")
+        ledger.refresh()
+        assert ledger.state("k2").holder_wid == "b:2:y"
+
+    def test_abandoned_torn_tail_becomes_a_dropped_line(self, tmp_path):
+        # The writer died mid-append and never finished the line; the
+        # next writer's torn-tail repair newline turns it into one
+        # malformed (dropped) line, and the half-written claim is simply
+        # never granted — the task gets re-claimed.
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k1", "a:1:x", seq=1))
+        with open(path, "a") as fh:
+            fh.write('{"lease": "claim", "key": "k2", "wid"')
+        _append(path, _lease("claim", "k3", "c:3:z", seq=1))
+        ledger = _ledger(path)
+        assert ledger.state("k1").holder_wid == "a:1:x"
+        assert ledger.state("k3").holder_wid == "c:3:z"
+        assert ledger.state("k2").holder_wid is None
+        assert ledger.malformed == 1
+
+    def test_malformed_lease_fields_are_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, {"lease": "claim", "key": "k", "wid": 7, "seq": 1})
+        _append(path, {"lease": "bogus-op", "key": "k", "wid": "a:1:x"})
+        _append(path, {"lease": "claim", "key": "k", "wid": "a:1:x",
+                       "seq": "not-an-int"})
+        ledger = _ledger(path)
+        assert ledger.state("k").holder_wid is None
+        assert ledger.malformed == 3
+
+
+def _metrics(tag: float):
+    from repro.experiments.runner import ModelMetrics
+
+    return ModelMetrics(
+        model="pg", trace="uniform", throughput_flits_per_ns=0.5,
+        avg_latency_ns=9.0, static_pj=tag, dynamic_pj=2 * tag,
+        gated_fraction=0.1, elapsed_ns=100.0, packets_delivered=7,
+        mode_distribution={7: 1.0},
+    )
+
+
+class _Clock:
+    """Settable clock so expiry is driven, not slept for."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSessionFencing:
+    def test_stale_writer_cannot_clobber_a_stolen_tasks_result(self, tmp_path):
+        """The acceptance-criteria fence, end to end on real sessions.
+
+        A claims, stalls past expiry; B steals and wakes A's ghost: A
+        tries to commit its stale result M2 first, must be fenced off
+        and store nothing; B then commits M1 and the cache holds M1.
+        """
+        path = tmp_path / "journal.jsonl"
+        cache = RunCache(tmp_path / "runs")
+        lease = LeaseConfig(duration_s=1.0, grace_s=0.5)
+        clock = _Clock(0.0)
+        with ShardSession(path, "a", lease, clock=clock) as a, \
+                ShardSession(path, "b", lease, clock=clock) as b:
+            held = a.try_acquire("k")
+            assert held is not None and not held.stolen
+            clock.now = 2.0  # past deadline (1.0) + grace (0.5)
+            stolen = b.try_acquire("k")
+            assert stolen is not None and stolen.stolen
+            assert stolen.token > held.token
+            # The stale writer is fenced off; nothing it does lands.
+            assert a.commit(held, cache, _metrics(2.0)) is False
+            assert a.fenced == 1
+            assert cache.get("k") is None
+            assert b.commit(stolen, cache, _metrics(1.0)) is True
+        assert cache.get("k") == _metrics(1.0)
+        ledger = _ledger(path)
+        assert ledger.state("k").done and ledger.steal_count() == 1
+
+    def test_fenced_even_racing_past_the_check_cannot_overwrite(self, tmp_path):
+        # Belt and braces: even if a stale writer somehow reached the
+        # cache write, put_new never replaces a committed entry.
+        cache = RunCache(tmp_path / "runs")
+        assert cache.put_new("k", _metrics(1.0)) is True
+        assert cache.put_new("k", _metrics(2.0)) is False
+        assert cache.get("k") == _metrics(1.0)
+
+    def test_commit_on_an_already_done_task_is_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        cache = RunCache(tmp_path / "runs")
+        clock = _Clock(0.0)
+        with ShardSession(path, "a", LEASE, clock=clock) as a, \
+                ShardSession(path, "b", LEASE, clock=clock) as b:
+            la = a.try_acquire("k")
+            assert a.commit(la, cache, _metrics(1.0)) is True
+            assert b.try_acquire("k") is None
+            # A second commit attempt (e.g. a replayed duplicate) no-ops.
+            assert a.commit(la, cache, _metrics(3.0)) is False
+        assert cache.get("k") == _metrics(1.0)
+
+    def test_release_hands_the_task_to_the_next_claimer(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        clock = _Clock(0.0)
+        with ShardSession(path, "a", LEASE, clock=clock) as a, \
+                ShardSession(path, "b", LEASE, clock=clock) as b:
+            la = a.try_acquire("k")
+            assert b.try_acquire("k") is None
+            a.release(la)
+            lb = b.try_acquire("k")  # immediately, no expiry wait
+            assert lb is not None and not lb.stolen
+            assert lb.token > la.token
+
+    def test_renew_extends_expiry_and_blocks_the_steal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        lease = LeaseConfig(duration_s=1.0, grace_s=0.5)
+        clock = _Clock(0.0)
+        with ShardSession(path, "a", lease, clock=clock) as a, \
+                ShardSession(path, "b", lease, clock=clock) as b:
+            la = a.try_acquire("k")
+            clock.now = 1.2
+            a.renew(la)  # heartbeats before expiry: new deadline 2.2
+            clock.now = 2.0  # past the *original* deadline + grace
+            assert b.try_acquire("k") is None
+            clock.now = 3.0  # past the renewed deadline + grace
+            assert b.try_acquire("k") is not None
+
+    def test_duplicate_worker_names_cannot_impersonate(self, tmp_path):
+        # Two launches of --worker a get distinct wids; the second is an
+        # ordinary rival, not a lease-refreshing twin.
+        path = tmp_path / "journal.jsonl"
+        clock = _Clock(0.0)
+        with ShardSession(path, "a", LEASE, clock=clock) as first, \
+                ShardSession(path, "a", LEASE, clock=clock) as second:
+            assert first.wid != second.wid
+            assert first.try_acquire("k") is not None
+            assert second.try_acquire("k") is None
+
+
+def _race_one_claim(path, name, barrier, out):
+    from repro.exec.shard import LeaseConfig, ShardSession
+
+    with ShardSession(path, name, LeaseConfig(duration_s=30.0)) as session:
+        barrier.wait(timeout=30.0)
+        lease = session.try_acquire("contested")
+        out.put((name, lease is not None))
+
+
+class TestMultiprocessRace:
+    def test_exactly_one_process_wins_a_contested_claim(self, tmp_path):
+        """Two real processes race one key; the journal picks one winner."""
+        path = tmp_path / "journal.jsonl"
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        out = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_race_one_claim, args=(str(path), name, barrier, out)
+            )
+            for name in ("left", "right")
+        ]
+        for p in procs:
+            p.start()
+        results = dict(out.get(timeout=60.0) for _ in procs)
+        for p in procs:
+            p.join(timeout=30.0)
+        assert sorted(results) == ["left", "right"]
+        assert sum(results.values()) == 1, results
+        # And the journal's replay agrees with the processes' verdicts.
+        st = _ledger(path).state("contested")
+        winner = next(n for n, won in results.items() if won)
+        assert st.holder_wid is not None
+        assert st.holder_wid.startswith(f"{winner}:")
