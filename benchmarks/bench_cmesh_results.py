@@ -7,6 +7,11 @@ per-router traffic is ~4x denser: less gating opportunity and higher
 utilization than the mesh — its savings must come out *smaller*.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('cmesh',)
+
 from conftest import write_report
 
 from repro.experiments.report import format_table

@@ -6,6 +6,11 @@ This bench retrains the DozzNoC predictor at several epoch sizes and
 reports validation RMSE / mode-selection accuracy / sample counts.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('epoch_sweep',)
+
 import dataclasses
 
 from conftest import write_report

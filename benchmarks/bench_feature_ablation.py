@@ -6,6 +6,11 @@ to the 5 Table IV features — while the per-label energy drops from 61.1 pJ
 to 7.1 pJ.  This bench trains and evaluates both variants.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('feature_ablation',)
+
 import dataclasses
 
 from conftest import write_report

@@ -5,6 +5,11 @@ Synthesizes the two published waveforms — power-gating exit to 0.8 V and a
 measured settling times.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('fig5',)
+
 import numpy as np
 from conftest import write_report
 

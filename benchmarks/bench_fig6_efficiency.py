@@ -5,6 +5,11 @@ level, ~15 % average improvement over the fixed-rail array at the four
 scaled levels, maximum gain of almost 25 % at 0.9 V.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('fig6',)
+
 from conftest import write_report
 
 from repro.core.modes import VOLTAGES

@@ -5,6 +5,11 @@ what fraction of per-epoch decisions selected each active mode M3-M7.
 Reuses the Fig 8 uncompressed campaign when it is already cached.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('fig7',)
+
 from conftest import write_report
 
 from repro.experiments.figures import fig7_mode_distribution

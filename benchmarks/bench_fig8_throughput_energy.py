@@ -15,6 +15,11 @@ TURBO trades dynamic savings away relative to DozzNoC, and compression
 reduces the gating opportunity.  See EXPERIMENTS.md for measured-vs-paper.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('fig8',)
+
 from conftest import write_report
 
 from repro.experiments.report import format_table

@@ -8,6 +8,11 @@ Paper anchors: current input-buffer utilization alone achieves ~80 %
 accuracy; router off time and core traffic counts sit around ~40 %.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('fig9',)
+
 import dataclasses
 
 from conftest import write_report

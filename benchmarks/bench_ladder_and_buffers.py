@@ -10,6 +10,11 @@ qualitatively:
   divide by, moving the mode mix.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('ladder', 'buffers')
+
 import dataclasses
 
 from conftest import write_report

@@ -6,6 +6,11 @@ Uses multiple pytest-benchmark rounds, unlike the one-shot experiment
 benches.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ()
+
 from repro.common.config import SimConfig
 from repro.core.controller import make_policy
 from repro.noc.simulator import run_simulation
@@ -220,20 +225,23 @@ def _router_cycles(config):
     return n_routers * config.horizon_ns * top_ghz
 
 
-def test_backend_comparison_emits_kernel_json(report_dir):
+def test_backend_comparison_emits_kernel_json(report_dir, artifact_out):
     """Object-vs-array kernel comparison across all five policies.
 
-    Writes ``benchmarks/out/BENCH_kernel.json`` (router-cycles/sec per
-    backend x policy plus the speedup ratio) and asserts:
+    Writes the ``BENCH_kernel`` datapoint (router-cycles/sec per backend
+    x policy plus the speedup ratio) into the schema-versioned
+    ``out/bench/`` slot shared with ``repro-all`` manifests, keeping an
+    unwrapped compat copy at the legacy ``benchmarks/out/`` path for CI
+    upload, and asserts:
 
     * both backends produce identical ``summary()`` dicts on every case
       (bit-identity smoke — the full proof lives in the golden suite and
       the ``--differential-backend`` fuzz leg), and
     * the array kernel is >=3x faster on the kernel-bound baseline case.
     """
-    import json
     import os
 
+    from repro.experiments.artifact import write_bench_artifact
     from repro.experiments.runner import MODEL_NAMES
 
     quick = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "", "false")
@@ -274,8 +282,9 @@ def test_backend_comparison_emits_kernel_json(report_dir):
         ),
         "cases": cases,
     }
-    path = report_dir / "BENCH_kernel.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+    path = write_bench_artifact(
+        artifact_out, "BENCH_kernel", payload, legacy_dir=report_dir
+    )
     print(f"\n[kernel comparison written to {path}]")
     for name, row in cases.items():
         print(f"  {name:18s} object {row['object_s']:.4f}s  "

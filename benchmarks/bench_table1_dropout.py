@@ -1,5 +1,10 @@
 """Bench: regenerate Table I (LDO dropout ranges for the SIMO rails)."""
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('table1',)
+
 from conftest import write_report
 
 from repro.experiments.report import format_table

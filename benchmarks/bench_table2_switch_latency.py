@@ -5,6 +5,11 @@ the LDO transient waveform and detecting settling, exactly as one would on
 a scope capture.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('table2',)
+
 import numpy as np
 from conftest import write_report
 

@@ -5,6 +5,11 @@ latency x target frequency, ceiling) and the published constants the
 simulator uses.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('table3',)
+
 from conftest import write_report
 
 from repro.experiments.report import format_table

@@ -1,6 +1,11 @@
 """Bench: regenerate Table IV (the reduced five-feature set) and the
 Section III.D ML-overhead arithmetic (7.1 pJ / 0.013 mm^2 per label)."""
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('table4',)
+
 from conftest import write_report
 
 from repro.core.features import FULL_FEATURES, REDUCED_FEATURES

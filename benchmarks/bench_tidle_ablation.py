@@ -8,6 +8,11 @@ voltage level.  This bench sweeps the threshold on one test trace and shows
 both failure modes.
 """
 
+#: repro-all registry entries this bench corresponds to (empty = perf-only
+#: bench with no repro-all counterpart); asserted against
+#: repro.experiments.repro_all.REPRO_EXPERIMENTS by the test suite.
+EXPERIMENT_IDS = ('tidle',)
+
 import dataclasses
 
 from conftest import write_report

@@ -111,6 +111,18 @@ def report_dir() -> Path:
     return OUT_DIR
 
 
+@pytest.fixture(scope="session")
+def artifact_out() -> Path:
+    """The repo-root ``out/`` tree bench datapoints share with repro-all.
+
+    Overridable with ``REPRO_BENCH_ARTIFACT_OUT`` so CI can point bench
+    artifacts at the same directory a ``repro-all`` job populated.
+    """
+    return Path(
+        os.environ.get("REPRO_BENCH_ARTIFACT_OUT", BENCH_DIR.parent / "out")
+    )
+
+
 def write_report(report_dir: Path, name: str, text: str) -> None:
     """Write (and echo) one experiment's report."""
     path = report_dir / f"{name}.txt"

@@ -11,6 +11,9 @@ points without writing any Python:
   directories written by ``run``/``campaign`` ``--telemetry``,
 * ``dozznoc serve --store results.db`` — long-running HTTP/JSON service
   (submit runs/campaigns, poll progress, batched ``/predict``),
+* ``dozznoc repro-all`` — the push-button artifact: every table, figure
+  and extension into a versioned ``out/`` tree with an HTML report,
+  diffed against committed expectations (see ``docs/repro.md``),
 * ``dozznoc list`` — available benchmarks, policies and experiments.
 """
 
@@ -716,11 +719,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_repro_all(args: argparse.Namespace) -> int:
+    from repro.experiments.repro_all import ReproOptions, run_repro_all
+
+    report = run_repro_all(
+        ReproOptions(
+            scale=args.scale,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+            out_dir=args.out,
+            only=args.only,
+            expectations=args.expectations,
+        )
+    )
+    return report.exit_code
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments.repro_all import REPRO_EXPERIMENTS
+
     print("benchmarks:", ", ".join(sorted(BENCHMARKS)))
     print("policies:  ", ", ".join(sorted(POLICIES)))
     print("tables:    ", ", ".join(sorted(ALL_TABLES)))
     print("figures:   ", "fig5, fig6, fig7, fig8, fig9")
+    print("repro-all: ", ", ".join(sorted(REPRO_EXPERIMENTS)))
     return 0
 
 
@@ -1026,6 +1049,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8734)
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_repro = sub.add_parser(
+        "repro-all",
+        help="reproduce every table/figure/extension into a versioned "
+             "out/ tree with an HTML report, and diff the headline "
+             "numbers against committed expectations (exit 1 on drift)",
+    )
+    p_repro.add_argument("--scale", choices=["quick", "paper"],
+                         default="quick",
+                         help="evaluation scale (default: quick)")
+    p_repro.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1=serial, 0=all CPUs); "
+                              "never affects the emitted bytes")
+    p_repro.add_argument("--cache-dir", default=None,
+                         help="run cache + experiment memo; a rerun over "
+                              "the same directory replays every payload")
+    p_repro.add_argument(
+        "--backend", choices=["object", "array"], default="object",
+        help="simulator kernel for every simulation-backed experiment",
+    )
+    p_repro.add_argument("--out", default="out", metavar="DIR",
+                         help="artifact root (default: out/)")
+    p_repro.add_argument("--only", nargs="+", default=None, metavar="EXP",
+                         help="run a subset of experiments "
+                              "(see 'dozznoc list')")
+    p_repro.add_argument("--expectations", default=None, metavar="PATH",
+                         help="expectations file (default: the committed "
+                              "tests/expectations/<scale>.json; 'none' "
+                              "disables the diff)")
+    p_repro.set_defaults(fn=_cmd_repro_all)
 
     sub.add_parser("list", help="list benchmarks/policies/experiments").set_defaults(
         fn=_cmd_list

@@ -77,6 +77,15 @@ class EvalScale:
                    cache_dir=cache_dir)
 
 
+def _scale_run_cache(scale: EvalScale):
+    """The run-level cache a scale implies (None when uncached)."""
+    if scale.cache_dir is None:
+        return None
+    from repro.exec.cache import RunCache
+
+    return RunCache(Path(scale.cache_dir) / "runs")
+
+
 # ---------------------------------------------------------------------- #
 # Figure 5 — regulator transients
 # ---------------------------------------------------------------------- #
@@ -314,7 +323,9 @@ def t_idle_sweep(
         )
         for t_idle in t_idles
     ]
-    base, *rest = run_sim_tasks(tasks, jobs=scale.jobs)
+    base, *rest = run_sim_tasks(
+        tasks, jobs=scale.jobs, cache=_scale_run_cache(scale)
+    )
     points = []
     for t_idle, metrics in zip(t_idles, rest):
         norm = normalize_to_baseline(base, metrics)
@@ -361,25 +372,26 @@ def buffer_depth_sweep(
         seed=scale.seed,
     )
     trace = suite.test[benchmark_index]
-    from repro.experiments.runner import (
-        ModelMetrics,
-        normalize_to_baseline,
-        run_model,
-    )
+    from repro.experiments.runner import normalize_to_baseline
 
-    points = []
+    tasks = []
     for depth in depths:
         sim = scale.sim.with_(buffer_depth=depth)
-        base = ModelMetrics.from_result(run_model("baseline", trace, sim))
-        result = run_model("dozznoc", trace, sim)
-        norm = normalize_to_baseline(base, ModelMetrics.from_result(result))
+        tasks.append(SimTask(policy="baseline", trace=trace, sim=sim))
+        tasks.append(SimTask(policy="dozznoc", trace=trace, sim=sim))
+    results = run_sim_tasks(
+        tasks, jobs=scale.jobs, cache=_scale_run_cache(scale)
+    )
+    points = []
+    for depth, base, metrics in zip(depths, results[::2], results[1::2]):
+        norm = normalize_to_baseline(base, metrics)
         points.append(
             BufferDepthPoint(
                 buffer_depth=depth,
                 static_savings=norm.static_savings,
                 dynamic_savings=norm.dynamic_savings,
                 throughput_loss=norm.throughput_loss,
-                avg_latency_ns=result.avg_latency_ns,
+                avg_latency_ns=metrics.avg_latency_ns,
             )
         )
     return points
