@@ -210,7 +210,16 @@ def _print_shadow_report(shadow, candidate_fp: str) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    base = SimConfig.paper_cmesh() if args.cmesh else SimConfig.paper_mesh()
+    topology = args.topology or ("cmesh" if args.cmesh else "mesh")
+    if topology == "cmesh":
+        base = SimConfig.paper_cmesh()
+    elif topology == "mesh":
+        base = SimConfig.paper_mesh()
+    else:
+        # Torus / ring at 64 cores (radix 8): bubble fabrics need two
+        # max-length packet cells per input buffer (see docs/fabrics.md).
+        base = SimConfig(topology=topology, radix=8, concentration=1,
+                         buffer_depth=10)
     config = base.with_(switching=args.switching, backend=args.backend)
     trace = generate_benchmark_trace(
         args.benchmark, num_cores=config.num_cores, duration_ns=args.duration,
@@ -553,6 +562,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         faults=args.faults,
         online=args.online,
         backend_differential=args.differential_backend,
+        fabrics=tuple(args.fabrics) if args.fabrics else None,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -801,16 +811,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--duration", type=float, default=12_000.0)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--compressed", action="store_true")
-    p_run.add_argument("--cmesh", action="store_true")
+    p_run.add_argument("--topology", default=None,
+                       choices=["mesh", "cmesh", "torus", "ring"],
+                       help="fabric to simulate (default: mesh; torus and "
+                            "ring run 64 cores at radix 8 with the bubble "
+                            "buffer depth)")
+    p_run.add_argument("--cmesh", action="store_true",
+                       help="shorthand for --topology cmesh")
     p_run.add_argument("--switching", choices=["vct", "wormhole"],
                        default="vct")
     p_run.add_argument(
         "--backend",
         choices=["object", "array"],
-        default="object",
+        default="array",
         help=(
-            "simulator kernel: 'object' (reference, default) or 'array' "
-            "(structure-of-arrays fast path; bit-identical results)"
+            "simulator kernel: 'array' (structure-of-arrays fast path, "
+            "default) or 'object' (reference); bit-identical results"
         ),
     )
     p_run.add_argument("--map", action="store_true",
@@ -963,6 +979,12 @@ def build_parser() -> argparse.ArgumentParser:
             "(--backend array) and require identical metrics"
         ),
     )
+    p_fuzz.add_argument(
+        "--fabrics", nargs="+", default=None, metavar="FABRIC",
+        choices=["mesh", "cmesh", "torus", "ring"],
+        help="restrict the per-trial topology draw to these fabrics "
+             "(default: all four)",
+    )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     p_model = sub.add_parser(
@@ -1066,8 +1088,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run cache + experiment memo; a rerun over "
                               "the same directory replays every payload")
     p_repro.add_argument(
-        "--backend", choices=["object", "array"], default="object",
-        help="simulator kernel for every simulation-backed experiment",
+        "--backend", choices=["object", "array"], default="array",
+        help="simulator kernel for every simulation-backed experiment "
+             "(default: array; both emit identical bytes)",
     )
     p_repro.add_argument("--out", default="out", metavar="DIR",
                          help="artifact root (default: out/)")

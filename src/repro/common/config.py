@@ -21,11 +21,21 @@ class SimConfig:
     Parameters
     ----------
     topology:
-        ``"mesh"`` (one core per router) or ``"cmesh"`` (concentrated mesh,
-        ``concentration`` cores per router).  The paper evaluates an 8x8
-        mesh and a 4x4 cmesh, both with 64 cores.
+        A registered fabric name (see :mod:`repro.noc.fabrics`):
+        ``"mesh"`` (one core per router), ``"cmesh"`` (concentrated mesh,
+        ``concentration`` cores per router), ``"torus"`` (wraparound mesh
+        with minimal modular DOR and cell-bubble flow control), or
+        ``"ring"`` (routerless-style unidirectional ring overlay of
+        ``radix**2`` interfaces).  The paper evaluates an 8x8 mesh and a
+        4x4 cmesh, both with 64 cores; torus and ring extend the same
+        harness.  Bubble fabrics (torus, ring) need ``buffer_depth`` of
+        at least two max-length packets so each input buffer holds two
+        packet cells (one resident packet plus the deadlock-avoidance
+        bubble).
     radix:
         Routers per mesh dimension (8 for the mesh, 4 for the cmesh).
+        The ring places ``radix**2`` interfaces on one ring so node
+        counts stay comparable across fabrics at equal radix.
     concentration:
         Cores attached to each router (1 for mesh, 4 for cmesh).
     buffer_depth:
@@ -53,11 +63,12 @@ class SimConfig:
         reserve the full packet downstream, keeping admission deadlock-free
         under XY routing.
     backend:
-        Simulation kernel implementation.  ``"object"`` (default) is the
-        per-cycle object-model kernel; ``"array"`` selects the
+        Simulation kernel implementation.  ``"array"`` (default) is the
         structure-of-arrays kernel with span skipping
-        (:mod:`repro.noc.array_sim`), which produces bit-identical results
-        faster.  See ``docs/backends.md``.
+        (:mod:`repro.noc.array_sim`); ``"object"`` selects the per-cycle
+        object-model kernel.  The two are proven bit-identical (golden
+        matrix, equivalence suite, differential fuzz), so the default
+        only changes speed, never results.  See ``docs/backends.md``.
     seed:
         Master seed for any stochastic tie-breaking (the substrate itself is
         deterministic; the seed namespaces derived artifacts).
@@ -74,24 +85,34 @@ class SimConfig:
     horizon_ns: float | None = None
     drain_margin: float = 2.0
     switching: str = "vct"
-    backend: str = "object"
+    backend: str = "array"
     seed: int = 0
     extra: dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
-        if self.topology not in ("mesh", "cmesh"):
+        if self.topology not in ("mesh", "cmesh", "torus", "ring"):
             raise ConfigError(f"unknown topology {self.topology!r}")
         if self.radix < 2:
             raise ConfigError(f"radix must be >= 2, got {self.radix}")
         if self.concentration < 1:
             raise ConfigError(f"concentration must be >= 1, got {self.concentration}")
-        if self.topology == "mesh" and self.concentration != 1:
-            raise ConfigError("mesh topology requires concentration == 1")
-        if self.buffer_depth < max(self.request_flits, self.response_flits):
+        if self.topology != "cmesh" and self.concentration != 1:
+            raise ConfigError(
+                f"{self.topology} topology requires concentration == 1"
+            )
+        max_len = max(self.request_flits, self.response_flits)
+        if self.buffer_depth < max_len:
             raise ConfigError(
                 "buffer_depth must hold the longest packet "
-                f"({max(self.request_flits, self.response_flits)} flits), "
-                f"got {self.buffer_depth}"
+                f"({max_len} flits), got {self.buffer_depth}"
+            )
+        if self.topology in ("torus", "ring") and self.buffer_depth < 2 * max_len:
+            # Bubble fabrics need >= 2 packet cells per buffer: one for a
+            # resident packet plus the deadlock-avoidance bubble.
+            raise ConfigError(
+                f"{self.topology} topology needs buffer_depth >= "
+                f"{2 * max_len} (two max-length packets) for bubble flow "
+                f"control, got {self.buffer_depth}"
             )
         if min(self.request_flits, self.response_flits) < 1:
             raise ConfigError("packet lengths must be >= 1 flit")

@@ -52,7 +52,11 @@ if TYPE_CHECKING:  # pragma: no cover - avoids an exec<->experiments cycle
 #: entries whose keys predate it.  v6: ``ModelMetrics`` gained
 #: ``drift_alerts`` (drift-monitor trips surfaced in serve status); the
 #: payload field set changed, so older entries must be re-simulated.
-SCHEMA_VERSION = 6
+#: v7: the fabric subsystem landed (:mod:`repro.noc.fabrics` — torus and
+#: ring topologies, precomputed route tables, cell-bubble flow control)
+#: and the default backend flipped to ``array``; the new module joins the
+#: code digest and older entries predate its coverage.
+SCHEMA_VERSION = 7
 
 #: Modules whose source determines simulation results.  Editing any of
 #: these changes the code-version digest and invalidates cached runs.
@@ -84,6 +88,7 @@ _VERSIONED_MODULES: tuple[str, ...] = (
     "repro.models.store",
     "repro.noc.array_sim",
     "repro.noc.buffer",
+    "repro.noc.fabrics",
     "repro.noc.network",
     "repro.noc.packet",
     "repro.noc.router",

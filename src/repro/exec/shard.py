@@ -136,6 +136,12 @@ class ShardLedger:
         self.malformed = 0
         #: Display names of every worker whose lease op ever won.
         self.workers: set[str] = set()
+        #: Per-instance (wid) activity replayed from the log: winning
+        #: claims/steals and the done records committed while holding the
+        #: lease.  Done records carry no wid, so attribution happens at
+        #: replay time from the key's current holder — every reader of
+        #: the same journal derives identical numbers.
+        self.shards: dict[str, dict] = {}
 
     # -------------------------- reading ------------------------------- #
 
@@ -181,6 +187,23 @@ class ShardLedger:
         """Total winning steals across every key (diagnostics)."""
         return sum(st.steals for st in self._states.values())
 
+    def shard_progress(self) -> dict[str, dict]:
+        """Per-wid claim/steal/done counts, stably ordered by wid.
+
+        The shape the serve layer folds into a campaign's status
+        ``health`` document: ``{wid: {"worker": name, "claims": n,
+        "steals": n, "done": n}}``.
+        """
+        return {wid: dict(sh) for wid, sh in sorted(self.shards.items())}
+
+    def _shard(self, wid: str, worker: str) -> dict:
+        sh = self.shards.get(wid)
+        if sh is None:
+            sh = self.shards[wid] = {
+                "worker": worker, "claims": 0, "steals": 0, "done": 0,
+            }
+        return sh
+
     # -------------------------- replay -------------------------------- #
 
     def _apply(self, record: dict) -> None:
@@ -192,6 +215,12 @@ class ShardLedger:
         if op is None:
             # A done record: terminal for the key.  Later lease records
             # are ignored — the result is committed, nothing to hold.
+            # Attribute the completion to the replayed holder before
+            # clearing it (done records carry no wid of their own; the
+            # fenced commit guarantees the writer *was* the holder at
+            # append time, so the replayed holder is the committer).
+            if not st.done and st.holder_wid is not None:
+                self._shard(st.holder_wid, st.holder_name)["done"] += 1
             st.done = True
             st.done_cached = bool(record.get("cached", False))
             st.holder_wid = None
@@ -221,10 +250,12 @@ class ShardLedger:
             # past the recorded deadline + grace.  Both operands come
             # from the log, so every replayer agrees.
             if st.holder_wid is None:
-                self._grant(st, record, wid, seq, token, deadline)
+                self._grant(st, record, wid, seq, token, deadline,
+                            stolen=True)
             elif t >= st.deadline + self.lease.grace_s:
                 st.steals += 1
-                self._grant(st, record, wid, seq, token, deadline)
+                self._grant(st, record, wid, seq, token, deadline,
+                            stolen=True)
         elif op == "renew":
             if st.holder_wid == wid:
                 st.deadline = max(st.deadline, deadline)
@@ -235,12 +266,14 @@ class ShardLedger:
 
     def _grant(
         self, st: LeaseState, record: dict, wid: str, seq: int, token: int,
-        deadline: float,
+        deadline: float, stolen: bool = False,
     ) -> None:
         st.holder_wid = wid
         st.holder_seq = seq
         st.holder_name = str(record.get("worker", wid))
         self.workers.add(st.holder_name)
+        sh = self._shard(wid, st.holder_name)
+        sh["steals" if stolen else "claims"] += 1
         st.deadline = deadline
         # Effective fencing token: strictly monotonic per key even when
         # the proposer's view was stale.

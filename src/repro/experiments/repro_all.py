@@ -74,7 +74,7 @@ def resolve_scale(
     name: str,
     cache_dir: str | Path | None = None,
     jobs: int = 1,
-    backend: str = "object",
+    backend: str = "array",
 ) -> EvalScale:
     """Materialize one named scale with the CLI knobs applied."""
     if name == "quick":
@@ -86,7 +86,7 @@ def resolve_scale(
     return replace(scale, jobs=jobs, sim=scale.sim.with_(backend=backend))
 
 
-def cmesh_sim(scale_name: str, backend: str = "object") -> SimConfig:
+def cmesh_sim(scale_name: str, backend: str = "array") -> SimConfig:
     """The concentrated-mesh configuration matching one scale.
 
     Paper scale uses the paper's 4x4 cmesh (64 cores); quick scale uses a
@@ -99,6 +99,29 @@ def cmesh_sim(scale_name: str, backend: str = "object") -> SimConfig:
         topology="cmesh", radix=2, concentration=4, epoch_cycles=150,
         backend=backend,
     )
+
+
+def fabric_sims(scale_name: str, backend: str = "array") -> dict[str, SimConfig]:
+    """One campaign configuration per registered fabric at one scale.
+
+    Mesh and cmesh reuse the scale's own profiles.  The torus wraps the
+    scale's mesh substrate (same radix/epoch) with the bubble buffer
+    depth; the routerless ring stays deliberately small (radix 3, nine
+    interfaces) because a single unidirectional link is the fabric's
+    whole bisection — larger rings saturate at campaign injection rates
+    and stop draining inside the horizon.
+    """
+    if scale_name == "paper":
+        mesh = SimConfig.paper_mesh(backend=backend)
+    else:
+        mesh = SimConfig(topology="mesh", radix=4, epoch_cycles=150,
+                         backend=backend)
+    return {
+        "mesh": mesh,
+        "cmesh": cmesh_sim(scale_name, backend=backend),
+        "torus": mesh.with_(topology="torus", buffer_depth=10),
+        "ring": mesh.with_(topology="ring", radix=3, buffer_depth=10),
+    }
 
 
 def scale_fingerprint(scale_name: str, scale: EvalScale) -> str:
@@ -321,6 +344,30 @@ def _build_cmesh(ctx: ReproContext) -> dict:
             "rows": _campaign_rows("cmesh", result),
         },
         "data": {"summary": campaign_summary_payload(result)},
+    }
+
+
+def _build_fabrics(ctx: ReproContext) -> dict:
+    """The fabric campaign matrix: every registered topology, all models.
+
+    One campaign per fabric through the shared engine (so the run cache,
+    journal and memo all apply), folded into one cross-fabric table with
+    per-(fabric, model) headline coverage.
+    """
+    headlines: dict = {}
+    rows: list[list] = []
+    data: dict = {}
+    for name, sim in fabric_sims(
+        ctx.scale_name, backend=ctx.scale.sim.backend
+    ).items():
+        result = ctx.campaign(sim=sim)
+        headlines.update(_campaign_headlines(name, result))
+        rows += _campaign_rows(name, result)
+        data[name] = campaign_summary_payload(result)
+    return {
+        "headlines": headlines,
+        "table": {"headers": _CAMPAIGN_TABLE_HEADERS, "rows": rows},
+        "data": data,
     }
 
 
@@ -655,6 +702,9 @@ REPRO_EXPERIMENTS: dict[str, ReproEntry] = {
                    True, _build_buffers),
         ReproEntry("ladder", "DVFS-ladder granularity (extension)",
                    "extension", True, _build_ladder),
+        ReproEntry("fabrics", "fabric matrix: mesh/cmesh/torus/ring "
+                   "campaigns (extension)", "extension", True,
+                   _build_fabrics),
         ReproEntry("faults", "graceful degradation under faults (extension)",
                    "extension", True, _build_faults),
         ReproEntry("telemetry", "deterministic telemetry counters "
@@ -840,7 +890,7 @@ class ReproOptions:
     scale: str = "quick"
     jobs: int = 1
     cache_dir: str | Path | None = None
-    backend: str = "object"
+    backend: str = "array"
     out_dir: str | Path = "out"
     only: Sequence[str] | None = None
     #: Expectations file path; None auto-discovers the committed

@@ -101,6 +101,9 @@ class CoordinatorReport:
     steals: int = 0  #: winning lease steals replayed from the journal
     malformed_lines: int = 0  #: torn/glued journal lines dropped
     workers: list[str] = field(default_factory=list)
+    #: Per-instance (wid) progress replayed from the journal:
+    #: ``{wid: {"worker": name, "claims": n, "steals": n, "done": n}}``.
+    shards: dict = field(default_factory=dict)
     #: The coordinator's own salvage pass (empty counters when external
     #: workers finished everything on their own).
     salvage: WorkerReport | None = None
@@ -113,6 +116,7 @@ class CoordinatorReport:
             "steals": self.steals,
             "malformed_lines": self.malformed_lines,
             "workers": list(self.workers),
+            "shards": {wid: dict(sh) for wid, sh in self.shards.items()},
             "salvage": None if self.salvage is None else self.salvage.as_dict(),
         }
 
@@ -218,6 +222,7 @@ def coordinate_campaign(
     report.steals = ledger.steal_count()
     report.malformed_lines = ledger.malformed
     report.workers = sorted(ledger.workers)
+    report.shards = ledger.shard_progress()
     report.done_cached = sum(
         1 for k in keys if ledger.state(k).done_cached
     )

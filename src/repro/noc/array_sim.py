@@ -61,7 +61,7 @@ from repro.core.states import PowerState
 from repro.noc.packet import Packet
 from repro.noc.router import Router
 from repro.noc.simulator import SimResult, Simulator
-from repro.noc.topology import EAST, LOCAL, NORTH, OPPOSITE, SOUTH, WEST
+from repro.noc.topology import LOCAL
 from repro.power.dsent import dynamic_energy_pj
 from repro.traffic.trace import KIND_REQUEST
 
@@ -88,11 +88,12 @@ class ArraySimulator(Simulator):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         n = self.network.topology.num_routers
+        ports = self.network.num_ports
         # Scheduler lanes (see module docstring).
         self._occ_total = [0] * n  # resident flits per router
         self._res_total = [0] * n  # outstanding reservations per router
         self._busy_max = [0] * n  # max(out_busy_until) per router
-        self._want = [0] * (5 * n)  # FIFO heads wanting (rid*5 + port)
+        self._want = [0] * (ports * n)  # FIFO heads wanting (rid*P + port)
         # Open-span records (one per router, folded lazily).
         self._in_span = [False] * n
         self._span_kind = [0] * n
@@ -106,10 +107,14 @@ class ArraySimulator(Simulator):
         # that only wait out their own busy windows are never
         # interrupted by neighbour activity.
         self._span_block = [0] * n
-        # Port on the neighbour that our output port ``p`` feeds — i.e.
-        # OPPOSITE as a tuple (our input ``ip`` is fed by the upstream
-        # router's output ``_opp[ip]``).
-        self._opp = tuple(OPPOSITE.get(p, 0) for p in range(5))
+        # Feeder tables (see Network): which router's which output port
+        # feeds each of our inputs.  Pop-side span interrupts go through
+        # these rather than assuming link symmetry — on bidirectional
+        # fabrics they coincide with (neighbor_port, opposite), but on
+        # the unidirectional ring the feeder of an input is the upstream
+        # interface, not the one our own output port points at.
+        self._feed_rid = self.network.feed_rid
+        self._feed_port = self.network.feed_port
         # Shadow accumulators for EnergyAccountant.add_hop: plain-list
         # sums flushed into the NumPy ledgers once at end-of-run.  Each
         # ledger cell starts at 0.0 and receives the identical sequence
@@ -144,7 +149,7 @@ class ArraySimulator(Simulator):
             "occ_total": np.asarray(self._occ_total),
             "res_total": np.asarray(self._res_total),
             "busy_max": np.asarray(self._busy_max),
-            "want": np.asarray(self._want).reshape(-1, 5),
+            "want": np.asarray(self._want).reshape(-1, self._num_ports),
         }
 
     # ------------------------------------------------------------------ #
@@ -243,15 +248,15 @@ class ArraySimulator(Simulator):
 
     def _notify_neighbors(self, router: Router, tick: int) -> None:
         """A router became able to receive (woke, or cleared its V/F
-        stall): spanning neighbours whose spans rely on a head-of-line
+        stall): spanning *feeders* whose spans rely on a head-of-line
         block toward it must re-evaluate."""
         in_span = self._in_span
         span_block = self._span_block
         routers = self.network.routers
-        for _, nbr_rid, opp in self._links[router.rid]:
-            # ``opp`` is the neighbour's output port toward us.
-            if in_span[nbr_rid] and span_block[nbr_rid] >> opp & 1:
-                self._interrupt_span(routers[nbr_rid], tick)
+        for _, feeder_rid, fport in self.network.in_links[router.rid]:
+            # ``fport`` is the feeder's output port toward us.
+            if in_span[feeder_rid] and span_block[feeder_rid] >> fport & 1:
+                self._interrupt_span(routers[feeder_rid], tick)
 
     def _wake_span(self, router: Router, tick: int) -> int:
         """Elide WAKEUP countdown cycles (the completing cycle stays
@@ -342,10 +347,14 @@ class ArraySimulator(Simulator):
         net = self.network
         routers = net.routers
         core_router = net.core_router
-        coord_x = net.coord_x
-        coord_y = net.coord_y
+        route_tab = self._route_tab
         links = self._links
         nbr_port = self._nbr_port
+        feed_rid = self._feed_rid
+        feed_port = self._feed_port
+        ports = self._num_ports
+        mc = self._min_cells
+        cell_cap = self._cell_cap
         occ_total = self._occ_total
         res_total = self._res_total
         busy_max = self._busy_max
@@ -356,7 +365,6 @@ class ArraySimulator(Simulator):
         span_period = self._span_period
         span_f = self._span_f
         span_block = self._span_block
-        opp_of = self._opp
         span_ok = self._span_ok
         dyn_acc = self._dyn_acc
         hops_acc = self._hops_acc
@@ -450,7 +458,7 @@ class ArraySimulator(Simulator):
             unknown = 0
 
             if state is active:
-                base5 = rid * 5
+                basep = rid * ports
                 bufs = router.in_buffers
                 # 1. Commit transfers whose tail flit has landed
                 #    (inlined _commit_arrivals + buffer.commit).
@@ -479,24 +487,11 @@ class ArraySimulator(Simulator):
                             raise SimulationError(
                                 f"secure refcount underflow on router {rid}"
                             )
-                        # Inlined XY DOR (_route).
-                        dst_r = core_router[packet.dst_core]
-                        if rid == dst_r:
-                            out_port = LOCAL
-                        else:
-                            x = coord_x[rid]
-                            dx = coord_x[dst_r]
-                            if x < dx:
-                                out_port = EAST
-                            elif x > dx:
-                                out_port = WEST
-                            elif coord_y[rid] < coord_y[dst_r]:
-                                out_port = SOUTH
-                            else:
-                                out_port = NORTH
+                        # Precomputed fabric routing (_route).
+                        out_port = route_tab[rid][core_router[packet.dst_core]]
                         packet.out_port = out_port
                         if was_empty:
-                            want[base5 + out_port] += 1
+                            want[basep + out_port] += 1
                         if out_port != LOCAL:
                             # Inlined secure() fast path.
                             nbr = routers[nbr_row[out_port]]
@@ -524,15 +519,16 @@ class ArraySimulator(Simulator):
                         obusy = router.out_busy_until
                         rr = router.rr
                         period = router.cur_period
-                        nbr_row = nbr_port[rid]
+                        frid_row = feed_rid[rid]
+                        fport_row = feed_port[rid]
                         voltage = router.mode.voltage
                         e_hop = dyn_e[voltage]
                         used = 0
                         # 2a. Ejection (inlined _eject + buffer.pop).
-                        if want[base5 + LOCAL] and obusy[LOCAL] <= tick:
+                        if want[basep + LOCAL] and obusy[LOCAL] <= tick:
                             start = rr[LOCAL]
-                            for j in range(5):
-                                ip = (start + j) % 5
+                            for j in range(ports):
+                                ip = (start + j) % ports
                                 buf = bufs[ip]
                                 queue = buf.queue
                                 if not queue or queue[0].out_port != LOCAL:
@@ -540,15 +536,16 @@ class ArraySimulator(Simulator):
                                 packet = queue.popleft()
                                 length = packet.length
                                 buf.occupancy -= length
+                                buf.cells -= 1
                                 if buf.occupancy < 0:
                                     raise SimulationError(
                                         "buffer occupancy went negative"
                                     )
                                 occ_total[rid] -= length
-                                want[base5 + LOCAL] -= 1
+                                want[basep + LOCAL] -= 1
                                 if queue:
                                     h = queue[0].out_port
-                                    want[base5 + h] += 1
+                                    want[basep + h] += 1
                                     unknown |= 1 << h
                                 done = tick + length * period
                                 if wormhole:
@@ -569,12 +566,12 @@ class ArraySimulator(Simulator):
                                 dyn_acc[rid] += e_hop * length
                                 hops_acc[rid] += length
                                 self.packets_live -= 1
-                                rr[LOCAL] = (ip + 1) % 5
-                                up = nbr_row[ip]
+                                rr[LOCAL] = (ip + 1) % ports
+                                up = frid_row[ip]
                                 if (
                                     up >= 0
                                     and in_span[up]
-                                    and span_block[up] >> opp_of[ip] & 1
+                                    and span_block[up] >> fport_row[ip] & 1
                                 ):
                                     # Freed space unblocks an upstream
                                     # span that relied on this input
@@ -584,12 +581,12 @@ class ArraySimulator(Simulator):
                                 break
                         # 2b. Switch allocation (inlined _forward).
                         for port, nbr_id, opp in links[rid]:
-                            if not want[base5 + port] or obusy[port] > tick:
+                            if not want[basep + port] or obusy[port] > tick:
                                 continue
                             nbr = routers[nbr_id]
                             start = rr[port]
-                            for j in range(5):
-                                ip = (start + j) % 5
+                            for j in range(ports):
+                                ip = (start + j) % ports
                                 if used >> ip & 1:
                                     continue
                                 buf = bufs[ip]
@@ -603,6 +600,17 @@ class ArraySimulator(Simulator):
                                     blocked |= 1 << port
                                     break
                                 nbuf = nbr.in_buffers[opp]
+                                # Bubble flow control (torus/ring): a
+                                # cells-blocked head does NOT block the
+                                # output (``continue``, not ``break``) —
+                                # continuing traffic may still use the
+                                # bubble entering traffic must leave.
+                                if (
+                                    mc is not None
+                                    and cell_cap - nbuf.cells
+                                    < mc[port][ip]
+                                ):
+                                    continue
                                 packet = queue[0]
                                 length = packet.length
                                 if (
@@ -632,18 +640,20 @@ class ArraySimulator(Simulator):
                                         break
                                     packet.retries = 0
                                 nbuf.reserved += length
+                                nbuf.cells += 1
                                 res_total[nbr_id] += length
                                 queue.popleft()
                                 buf.occupancy -= length
+                                buf.cells -= 1
                                 if buf.occupancy < 0:
                                     raise SimulationError(
                                         "buffer occupancy went negative"
                                     )
                                 occ_total[rid] -= length
-                                want[base5 + port] -= 1
+                                want[basep + port] -= 1
                                 if queue:
                                     h = queue[0].out_port
-                                    want[base5 + h] += 1
+                                    want[basep + h] += 1
                                     unknown |= 1 << h
                                 used |= 1 << ip
                                 done = tick + length * period
@@ -706,12 +716,12 @@ class ArraySimulator(Simulator):
                                 router.epoch_flits_out += length
                                 if router.track_ports:
                                     router.flits_out_port[port] += length
-                                rr[port] = (ip + 1) % 5
-                                up = nbr_row[ip]
+                                rr[port] = (ip + 1) % ports
+                                up = frid_row[ip]
                                 if (
                                     up >= 0
                                     and in_span[up]
-                                    and span_block[up] >> opp_of[ip] & 1
+                                    and span_block[up] >> fport_row[ip] & 1
                                 ):
                                     interrupt(routers[up], tick)
                                 break
@@ -741,27 +751,16 @@ class ArraySimulator(Simulator):
                                 queue = buf.queue
                                 was_empty = not queue
                                 buf.occupancy += length
+                                buf.cells += 1
                                 queue.append(packet)
                                 occ_total[rid] += length
                                 router.inject_pos = pos + 1
                                 self.entries_remaining -= 1
-                                dst_r = core_router[dst]
-                                if rid == dst_r:
-                                    out_port = LOCAL
-                                else:
-                                    x = coord_x[rid]
-                                    dx = coord_x[dst_r]
-                                    if x < dx:
-                                        out_port = EAST
-                                    elif x > dx:
-                                        out_port = WEST
-                                    elif coord_y[rid] < coord_y[dst_r]:
-                                        out_port = SOUTH
-                                    else:
-                                        out_port = NORTH
+                                # Precomputed fabric routing (_route).
+                                out_port = route_tab[rid][core_router[dst]]
                                 packet.out_port = out_port
                                 if was_empty:
-                                    want[base5 + out_port] += 1
+                                    want[basep + out_port] += 1
                                     unknown |= 1 << out_port
                                 if out_port != LOCAL:
                                     nbr = routers[nbr_port[rid][out_port]]
@@ -816,7 +815,7 @@ class ArraySimulator(Simulator):
                     if router.track_ports:
                         depth = router.buffer_depth
                         sums = router.occ_port_sums
-                        for p in range(5):
+                        for p in range(ports):
                             sums[p] += bufs[p].occupancy / depth
                 router.epoch_cycle += 1
 
@@ -932,10 +931,10 @@ class ArraySimulator(Simulator):
                                 # decide each wanted output as the next
                                 # cycle's allocation would, reusing this
                                 # cycle's scan outcome where still valid.
-                                base5 = rid * 5
+                                basep = rid * ports
                                 obusy = router.out_busy_until
                                 nxt_t = tick + period
-                                if want[base5 + LOCAL]:
+                                if want[basep + LOCAL]:
                                     b = obusy[LOCAL]
                                     if b <= nxt_t:
                                         k = 0  # ejectable next cycle
@@ -947,7 +946,7 @@ class ArraySimulator(Simulator):
                                     bufs = router.in_buffers
                                     rr = router.rr
                                     for port, nbr_id, opp in links[rid]:
-                                        if not want[base5 + port]:
+                                        if not want[basep + port]:
                                             continue
                                         b = obusy[port]
                                         if b > nxt_t:
@@ -981,31 +980,59 @@ class ArraySimulator(Simulator):
                                             # which notifies us.
                                             blk |= 1 << port
                                             continue
-                                        # Re-scan: round-robin-first head
-                                        # wanting this port (head-of-line
-                                        # semantics).
-                                        start = rr[port]
-                                        length = 0
-                                        for j in range(5):
-                                            qq = bufs[(start + j) % 5].queue
-                                            if (
-                                                qq
-                                                and qq[0].out_port == port
-                                            ):
-                                                length = qq[0].length
-                                                break
+                                        # Re-scan: replay next cycle's
+                                        # head-of-line scan for this port
+                                        # in round-robin order.  On a
+                                        # bubble fabric a cells-blocked
+                                        # head is skipped (``continue``
+                                        # in the allocation too), so any
+                                        # later wanting head may still
+                                        # take the grant; cells free only
+                                        # via a downstream pop, which
+                                        # interrupts us like a capacity
+                                        # block.
                                         nbuf = nbr.in_buffers[opp]
-                                        if (
-                                            nbuf.capacity - nbuf.occupancy
-                                            - nbuf.reserved < length
-                                        ):
-                                            # Capacity-blocked: space
-                                            # frees only via a downstream
-                                            # pop, which interrupts us.
+                                        start = rr[port]
+                                        decided = False
+                                        for j in range(ports):
+                                            ip2 = (start + j) % ports
+                                            qq = bufs[ip2].queue
+                                            if (
+                                                not qq
+                                                or qq[0].out_port != port
+                                            ):
+                                                continue
+                                            if (
+                                                mc is not None
+                                                and cell_cap - nbuf.cells
+                                                < mc[port][ip2]
+                                            ):
+                                                continue
+                                            if (
+                                                nbuf.capacity
+                                                - nbuf.occupancy
+                                                - nbuf.reserved
+                                                < qq[0].length
+                                            ):
+                                                # Capacity-blocked: space
+                                                # frees only via a
+                                                # downstream pop, which
+                                                # interrupts us.
+                                                blk |= 1 << port
+                                                decided = True
+                                                break
+                                            k = 0  # grantable next cycle
+                                            decided = True
+                                            break
+                                        if not decided:
+                                            # Every wanting head was
+                                            # cells-blocked (bubble
+                                            # fabrics only): unblocks
+                                            # only via a downstream pop.
                                             blk |= 1 << port
                                             continue
-                                        k = 0  # grantable next cycle
-                                        break
+                                        if k == 0:
+                                            break
                             if k > 0:
                                 inj_blocked = False
                                 q = router.inject_queue

@@ -1,0 +1,344 @@
+"""Fabric plugin registry: pluggable NoC topologies behind one protocol.
+
+A *fabric* bundles everything the kernels, the verification machinery and
+the look-ahead power-gating scheme need to know about a topology:
+
+* **port tables** — ``num_ports`` (port 0 is always LOCAL), ``port_names``
+  and ``opposite``: ``opposite[p]`` is the input port on the *receiving*
+  router that our output port ``p`` feeds.  On bidirectional fabrics this
+  doubles as the reverse-link port; on unidirectional fabrics (the ring)
+  it is only the feed relation — the :class:`~repro.noc.network.Network`
+  feeder tables are derived from it,
+* **wiring** — ``neighbor(rid, port)`` / ``neighbors(rid)``,
+* **deterministic routing with look-ahead** — ``route_port(rid, dst)``
+  picks the output port and ``next_router`` names the downstream router a
+  buffered packet will cross next, which the secure/wake scheme of
+  Section III.B holds a refcount on.  Routes must be *minimal and
+  deterministic* (the route-progress and look-ahead-consistency property
+  suite enforces both for every registered fabric),
+* **deadlock freedom** — each fabric carries its argument in its
+  docstring, and fabrics whose channel-dependency graph contains cycles
+  (torus wrap links, the ring) declare a *cell-bubble* table
+  ``min_cells[out_port][in_port]``: the number of free packet cells the
+  target input buffer must retain for a grant from ``in_port`` through
+  ``out_port``.  Ring-*entry* hops require 2 free cells, within-ring
+  continues require 1, so every directed ring of buffers always keeps at
+  least one free cell — classic Bubble Flow Control (Puente et al.),
+  expressed in uniform packet cells so mixed request/response lengths
+  cannot starve the bubble.  ``rings()`` enumerates those buffer cycles
+  for the :class:`~repro.validate.invariants.InvariantAuditor` bubble
+  law.  Mesh/cmesh XY is deadlock-free by turn restriction alone and
+  declares no table (``min_cells is None`` keeps the kernels' mesh hot
+  path byte-identical to the pre-fabric code).
+
+Cells are counted per *packet* (1 cell each, regardless of flit length):
+a buffer of ``depth`` flits holds ``depth // max_packet_flits`` cells.
+``min_cell_capacity`` is the cell count a fabric requires per buffer
+(2 for bubble fabrics — one resident packet plus the bubble), which
+:class:`~repro.common.config.SimConfig` validation turns into a minimum
+``buffer_depth``.
+
+See ``docs/fabrics.md`` for the protocol contract, the per-fabric
+deadlock-freedom arguments, and how to add a fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import TopologyError
+from repro.noc.topology import (
+    EAST,
+    LOCAL,
+    NORTH,
+    NUM_PORTS,
+    PORT_NAMES,
+    SOUTH,
+    WEST,
+    GridTopology,
+)
+
+#: The ring fabric's single transport port (its port 0 is LOCAL).
+RING = 1
+
+
+@dataclass(frozen=True)
+class MeshFabric(GridTopology):
+    """2-D mesh, XY dimension-order routing.
+
+    **Deadlock freedom:** XY DOR forbids every Y->X turn, so the channel
+    dependency graph is acyclic — no bubble table is needed
+    (``min_cells is None``).
+    """
+
+    name = "mesh"
+    num_ports = NUM_PORTS
+    port_names = PORT_NAMES
+    #: opposite[p]: receiver input port fed by our output port p.
+    opposite = (0, SOUTH, WEST, NORTH, EAST)
+    bidirectional = True
+    #: Plain class attribute (not a dataclass field): None means "no
+    #: bubble table" and keeps the kernels' mesh hot path byte-identical.
+    min_cells = None
+    min_cell_capacity = 1
+
+    def route_port(self, rid: int, dst_rid: int) -> int:
+        """XY DOR: correct X (east/west), then Y (south/north), then eject."""
+        if rid == dst_rid:
+            return LOCAL
+        radix = self.radix
+        x, y = rid % radix, rid // radix
+        dx, dy = dst_rid % radix, dst_rid // radix
+        if x < dx:
+            return EAST
+        if x > dx:
+            return WEST
+        if y < dy:
+            return SOUTH
+        return NORTH
+
+    def next_router(self, rid: int, dst_rid: int) -> int | None:
+        """Look-ahead: the downstream router, or ``None`` when ejecting."""
+        port = self.route_port(rid, dst_rid)
+        return None if port == LOCAL else self.neighbor(rid, port)
+
+    def rings(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Directed buffer cycles audited by the bubble law (none here)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class CMeshFabric(MeshFabric):
+    """Concentrated mesh: the mesh fabric with >1 core per router.
+
+    Routing, ports and the deadlock-freedom argument are identical to
+    :class:`MeshFabric`; only the core<->router mapping differs (handled
+    by :class:`~repro.noc.topology.GridTopology`).
+    """
+
+    name = "cmesh"
+
+
+#: Torus bubble table: a grant into a dimension ring from outside it
+#: (LOCAL injection or a DOR X->Y turn) must leave 2 free cells at the
+#: target buffer; continuing within the ring needs 1.  Ejection (-> LOCAL)
+#: leaves the rings and needs none.
+_TORUS_MIN_CELLS = (
+    (0, 0, 0, 0, 0),  # -> LOCAL
+    (2, 2, 2, 1, 2),  # -> NORTH: continue only from the SOUTH input
+    (2, 2, 2, 2, 1),  # -> EAST:  continue only from the WEST input
+    (2, 1, 2, 2, 2),  # -> SOUTH: continue only from the NORTH input
+    (2, 2, 1, 2, 2),  # -> WEST:  continue only from the EAST input
+)
+
+
+@dataclass(frozen=True)
+class TorusFabric(MeshFabric):
+    """2-D torus: the mesh grid with wraparound links.
+
+    Routing is *minimal modular* dimension-order: per dimension the
+    packet travels whichever way round is shorter (ties go east/south),
+    X before Y.  The chosen direction is stable within a dimension — the
+    shorter-way distance only shrinks as the packet moves — so each
+    packet uses exactly one directed ring per dimension and the route is
+    deterministic and minimal.
+
+    **Deadlock freedom:** wraparound closes each row/column into a
+    directed cycle of input buffers, so DOR alone is not sufficient.  The
+    cell-bubble table restores it (Bubble Flow Control): entering a
+    dimension ring requires two free cells at the target buffer, so every
+    directed ring always retains >= 1 free cell and some packet in it can
+    always advance; dimension order makes the only inter-ring
+    dependencies X->Y, and Y rings drain through ejection, which needs no
+    bubble.  The :class:`~repro.validate.invariants.InvariantAuditor`
+    re-checks the ring-bubble invariant at every epoch boundary, and its
+    progress watchdog converts any residual stall into a loud audit
+    failure instead of a hung run.
+    """
+
+    name = "torus"
+    min_cells = _TORUS_MIN_CELLS
+    min_cell_capacity = 2
+
+    def neighbor(self, router: int, port: int) -> int | None:
+        """Wraparound neighbor; only LOCAL has none."""
+        x, y = self.coords(router)
+        radix = self.radix
+        if port == NORTH:
+            return self.router_at(x, (y - 1) % radix)
+        if port == SOUTH:
+            return self.router_at(x, (y + 1) % radix)
+        if port == EAST:
+            return self.router_at((x + 1) % radix, y)
+        if port == WEST:
+            return self.router_at((x - 1) % radix, y)
+        if port == LOCAL:
+            return None
+        raise TopologyError(f"unknown port {port}")
+
+    def route_port(self, rid: int, dst_rid: int) -> int:
+        """Minimal modular DOR (X then Y; ties break east/south)."""
+        if rid == dst_rid:
+            return LOCAL
+        radix = self.radix
+        dx = (dst_rid % radix - rid % radix) % radix
+        if dx:
+            return EAST if 2 * dx <= radix else WEST
+        dy = (dst_rid // radix - rid // radix) % radix
+        return SOUTH if 2 * dy <= radix else NORTH
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Shorter-way-around distance per dimension, summed."""
+        radix = self.radix
+        dx = (b % radix - a % radix) % radix
+        dy = (b // radix - a // radix) % radix
+        return min(dx, radix - dx) + min(dy, radix - dy)
+
+    def rings(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """One directed buffer ring per row/column and travel direction.
+
+        Eastward packets occupy WEST input buffers (and so on): a packet
+        moving through output ``p`` lands at input ``opposite[p]``.
+        Each tuple lists the buffers in feed order (westward/northward
+        rings therefore run through the row/column backwards), so every
+        consecutive pair is a physical hop — the property suite checks
+        exactly that; the auditor's bubble law only sums over the ring,
+        so the orientation costs nothing.
+        """
+        radix = self.radix
+        out = []
+        for y in range(radix):
+            row = [self.router_at(x, y) for x in range(radix)]
+            out.append(tuple((r, WEST) for r in row))  # eastward traffic
+            out.append(tuple((r, EAST) for r in reversed(row)))  # westward
+        for x in range(radix):
+            col = [self.router_at(x, y) for y in range(radix)]
+            out.append(tuple((r, NORTH) for r in col))  # southward traffic
+            out.append(tuple((r, SOUTH) for r in reversed(col)))  # northward
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class RingFabric:
+    """Routerless-style unidirectional ring overlay (arXiv 1905.04423).
+
+    ``radix**2`` interfaces (node count comparable to a same-radix mesh)
+    sit on one unidirectional ring; each has only a LOCAL port and a RING
+    port, so the per-hop "router" degenerates to the routerless papers'
+    interface logic.  Routing is trivially deterministic — stay on the
+    ring — and the look-ahead next hop is always ``(rid + 1) % n``.
+    Injection is hop-count aware at the interface: the NI knows the exact
+    hop distance ``(dst - src) % n`` up front, and admission onto the
+    ring is governed by the cell-bubble rule below rather than by
+    inspecting pass-through traffic flit-by-flit.
+
+    **Deadlock freedom:** the RING input buffers form one directed cycle.
+    Entry from LOCAL requires 2 free cells at the downstream buffer and a
+    within-ring continue requires 1, so the ring always retains >= 1 free
+    cell; the packet immediately upstream of a free cell can always
+    advance (ejection needs no downstream resource), so the ring always
+    makes progress — same bubble argument as the torus, on a single ring.
+    """
+
+    radix: int
+    concentration: int = 1
+
+    name = "ring"
+    num_ports = 2
+    port_names = ("LOCAL", "RING")
+    opposite = (0, RING)
+    bidirectional = False
+    min_cells = (
+        (0, 0),  # -> LOCAL: ejection leaves the ring
+        (2, 1),  # -> RING: entry from LOCAL needs 2 free cells, continue 1
+    )
+    min_cell_capacity = 2
+
+    def __post_init__(self) -> None:
+        if self.radix < 2:
+            raise TopologyError(f"radix must be >= 2, got {self.radix}")
+        if self.concentration != 1:
+            raise TopologyError("ring fabric has one core per interface")
+
+    @property
+    def num_routers(self) -> int:
+        """Interface count (``radix**2``, mesh-comparable node count)."""
+        return self.radix * self.radix
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_routers
+
+    def coords(self, router: int) -> tuple[int, int]:
+        """Ring position as degenerate grid coordinates ``(rid, 0)``."""
+        self._check_router(router)
+        return router, 0
+
+    def neighbor(self, router: int, port: int) -> int | None:
+        self._check_router(router)
+        if port == RING:
+            return (router + 1) % self.num_routers
+        if port == LOCAL:
+            return None
+        raise TopologyError(f"unknown port {port}")
+
+    def neighbors(self, router: int) -> list[tuple[int, int]]:
+        return [(RING, (router + 1) % self.num_routers)]
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Hops around the (unidirectional) ring."""
+        self._check_router(a)
+        self._check_router(b)
+        return (b - a) % self.num_routers
+
+    def route_port(self, rid: int, dst_rid: int) -> int:
+        return LOCAL if rid == dst_rid else RING
+
+    def next_router(self, rid: int, dst_rid: int) -> int | None:
+        if rid == dst_rid:
+            return None
+        return (rid + 1) % self.num_routers
+
+    def router_of_core(self, core: int) -> int:
+        if not 0 <= core < self.num_cores:
+            raise TopologyError(
+                f"core {core} out of range [0, {self.num_cores})"
+            )
+        return core
+
+    def cores_of_router(self, router: int) -> list[int]:
+        self._check_router(router)
+        return [router]
+
+    def rings(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        return (tuple((r, RING) for r in range(self.num_routers)),)
+
+    def _check_router(self, router: int) -> None:
+        if not 0 <= router < self.num_routers:
+            raise TopologyError(
+                f"router {router} out of range [0, {self.num_routers})"
+            )
+
+
+#: The registry: topology name -> fabric class.  New fabrics register
+#: here (and in SimConfig's accepted-topology validation via FABRIC_NAMES).
+FABRICS: dict[str, type] = {
+    "mesh": MeshFabric,
+    "cmesh": CMeshFabric,
+    "torus": TorusFabric,
+    "ring": RingFabric,
+}
+
+FABRIC_NAMES: tuple[str, ...] = tuple(FABRICS)
+
+
+def make_fabric(kind: str, radix: int, concentration: int = 1):
+    """Instantiate a registered fabric by topology name."""
+    cls = FABRICS.get(kind)
+    if cls is None:
+        raise TopologyError(
+            f"unknown topology kind {kind!r} (registered: {FABRIC_NAMES})"
+        )
+    if kind != "cmesh" and concentration != 1:
+        raise TopologyError(f"{kind} topology has one core per router")
+    return cls(radix=radix, concentration=concentration)

@@ -1,7 +1,9 @@
 """The DozzNoC router model (Figure 1c).
 
-Each router owns five input FIFOs (LOCAL + four directions), one output
-per port with virtual cut-through serialization, a round-robin switch
+Each router owns one input FIFO per fabric port (LOCAL plus the fabric's
+transport ports — five on mesh/cmesh/torus, two on the ring; see
+:mod:`repro.noc.fabrics`), one output per port with virtual cut-through
+serialization, a round-robin switch
 allocator, a per-router clock (its current V/F mode), and the
 power-management state machine of Figure 3a:
 
@@ -45,6 +47,7 @@ class Router:
     __slots__ = (
         "rid",
         "buffer_depth",
+        "num_ports",
         "capacity_total",
         "in_buffers",
         "arrivals",
@@ -85,15 +88,22 @@ class Router:
         "mode_ticks",
     )
 
-    def __init__(self, rid: int, buffer_depth: int, initial_mode: Mode) -> None:
+    def __init__(
+        self,
+        rid: int,
+        buffer_depth: int,
+        initial_mode: Mode,
+        num_ports: int = NUM_PORTS,
+    ) -> None:
         self.rid = rid
         self.buffer_depth = buffer_depth
-        self.capacity_total = buffer_depth * NUM_PORTS
-        self.in_buffers = [InputBuffer(buffer_depth) for _ in range(NUM_PORTS)]
+        self.num_ports = num_ports
+        self.capacity_total = buffer_depth * num_ports
+        self.in_buffers = [InputBuffer(buffer_depth) for _ in range(num_ports)]
         # Min-heap of (arrival_tick, seq, in_port, packet) in-flight transfers.
         self.arrivals: list[tuple[int, int, int, Packet]] = []
-        self.out_busy_until = [0] * NUM_PORTS
-        self.rr = [0] * NUM_PORTS
+        self.out_busy_until = [0] * num_ports
+        self.rr = [0] * num_ports
         # Pre-split trace entries: (t_ns, src_core, dst_core, kind) ascending.
         self.inject_queue: list[tuple[float, int, int, int]] = []
         self.inject_pos = 0
@@ -131,8 +141,8 @@ class Router:
         self.turbo_counter = 0
 
         self.track_ports = False
-        self.occ_port_sums = [0.0] * NUM_PORTS
-        self.flits_out_port = [0] * NUM_PORTS
+        self.occ_port_sums = [0.0] * num_ports
+        self.flits_out_port = [0] * num_ports
         self.neighbor_ids: list[int] = []
 
         # Energy residency, accumulated in ticks and flushed to the
@@ -157,13 +167,10 @@ class Router:
 
     def total_occupancy(self) -> int:
         """Flits currently resident across all input FIFOs."""
-        return (
-            self.in_buffers[0].occupancy
-            + self.in_buffers[1].occupancy
-            + self.in_buffers[2].occupancy
-            + self.in_buffers[3].occupancy
-            + self.in_buffers[4].occupancy
-        )
+        total = 0
+        for buf in self.in_buffers:
+            total += buf.occupancy
+        return total
 
     def occupancy_fraction(self) -> float:
         """Input buffer utilization: resident flits / theoretical maximum."""
@@ -270,8 +277,8 @@ class Router:
         self.epoch_switches = 0
         self.epoch_flits_out = 0
         if self.track_ports:
-            self.occ_port_sums = [0.0] * NUM_PORTS
-            self.flits_out_port = [0] * NUM_PORTS
+            self.occ_port_sums = [0.0] * self.num_ports
+            self.flits_out_port = [0] * self.num_ports
 
     # ------------------------------------------------------------------ #
     # Arrival queue helpers

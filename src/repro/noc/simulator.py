@@ -44,7 +44,7 @@ from repro.noc.network import Network
 from repro.noc.packet import Packet
 from repro.noc.router import GATED_HEARTBEAT_TICKS, Router
 from repro.noc.stats import NetworkStats
-from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
+from repro.noc.topology import LOCAL, NUM_PORTS
 from repro.power.accounting import EnergyAccountant
 from repro.regulator.reliability import SAFE_MODE_INDEX, abort_stall_cycles
 from repro.traffic.trace import KIND_REQUEST, Trace
@@ -217,6 +217,15 @@ class Simulator:
             collect_features or policy.proactive or self._models_active
         )
         if self._needs_features and fs.needs_port_tracking:
+            if self.network.num_ports != NUM_PORTS:
+                from repro.common.errors import ConfigError
+
+                raise ConfigError(
+                    f"feature set {fs.name!r} tracks {NUM_PORTS} mesh ports "
+                    f"but the {config.topology!r} fabric has "
+                    f"{self.network.num_ports}; use a router-local feature "
+                    "set (e.g. reduced) on this fabric"
+                )
             for r in self.network.routers:
                 r.track_ports = True
 
@@ -226,6 +235,13 @@ class Simulator:
         self._resp_flits = config.response_flits
         self._links = self.network.links
         self._nbr_port = self.network.neighbor_port
+        self._route_tab = self.network.route_port
+        self._num_ports = self.network.num_ports
+        # Bubble flow control (torus/ring): the fabric's min-free-cells
+        # table (None on mesh/cmesh — the grant path then never reads
+        # cells) and the per-buffer packet-cell capacity.
+        self._min_cells = self.network.min_cells
+        self._cell_cap = self.network.cell_capacity
         # Batched heartbeat skipping for gated routers is exact (it only
         # elides fires that are provably no-ops) but a timeline sampler
         # observes every fire, so it forces per-step execution.
@@ -603,10 +619,12 @@ class Simulator:
             if router.switch_stall > 0:
                 router.switch_stall -= 1
             else:
-                if (
-                    bufs[0].queue or bufs[1].queue or bufs[2].queue
-                    or bufs[3].queue or bufs[4].queue
-                ):
+                occupied = False
+                for buf in bufs:
+                    if buf.queue:
+                        occupied = True
+                        break
+                if occupied:
                     used = self._eject(router, tick)
                     self._forward(router, tick, used)
                 self._inject(router, tick, now_ns)
@@ -621,14 +639,14 @@ class Simulator:
                     else:
                         router.idle_count = 0
             # 4. Epoch accounting.
-            router.occ_sum += (
-                bufs[0].occupancy + bufs[1].occupancy + bufs[2].occupancy
-                + bufs[3].occupancy + bufs[4].occupancy
-            ) / router.capacity_total
+            occ = 0
+            for buf in bufs:
+                occ += buf.occupancy
+            router.occ_sum += occ / router.capacity_total
             if router.track_ports:
                 depth = router.buffer_depth
                 sums = router.occ_port_sums
-                for p in range(5):
+                for p in range(self._num_ports):
                     sums[p] += bufs[p].occupancy / depth
             router.epoch_cycle += 1
 
@@ -690,19 +708,8 @@ class Simulator:
                 secure(routers[nbr_of[out_port]])
 
     def _route(self, rid: int, dst_router: int) -> int:
-        """Inline XY DOR (hot path)."""
-        if rid == dst_router:
-            return LOCAL
-        net = self.network
-        x, y = net.coord_x[rid], net.coord_y[rid]
-        dx, dy = net.coord_x[dst_router], net.coord_y[dst_router]
-        if x < dx:
-            return EAST
-        if x > dx:
-            return WEST
-        if y < dy:
-            return SOUTH
-        return NORTH
+        """Fabric routing: two list indexes into the precomputed table."""
+        return self._route_tab[rid][dst_router]
 
     def _eject(self, router: Router, tick: int) -> int:
         """Deliver one packet to the local NI; returns used-input bitmask."""
@@ -712,8 +719,9 @@ class Simulator:
         bufs = router.in_buffers
         period = router.cur_period
         start = rr[LOCAL]
-        for k in range(5):
-            ip = (start + k) % 5
+        ports = self._num_ports
+        for k in range(ports):
+            ip = (start + k) % ports
             queue = bufs[ip].queue
             if not queue or queue[0].out_port != LOCAL:
                 continue
@@ -733,12 +741,12 @@ class Simulator:
             router.epoch_recvs += 1
             self.accountant.add_hop(router.rid, router.mode.voltage, length)
             self.packets_live -= 1
-            rr[LOCAL] = (ip + 1) % 5
+            rr[LOCAL] = (ip + 1) % ports
             return 1 << ip
         return 0
 
     def _forward(self, router: Router, tick: int, used: int) -> None:
-        """Switch allocation for the four directional outputs."""
+        """Switch allocation for the fabric's directional outputs."""
         routers = self.network.routers
         bufs = router.in_buffers
         busy = router.out_busy_until
@@ -750,13 +758,17 @@ class Simulator:
         wormhole = self.wormhole
         add_hop = self.accountant.add_hop
         fault_links = self._fault_links
+        ports = self._num_ports
+        min_cells = self._min_cells
+        cell_cap = self._cell_cap
         for port, nbr_id, opp in self._links[rid]:
             if busy[port] > tick:
                 continue
             nbr = routers[nbr_id]
+            mc_row = None if min_cells is None else min_cells[port]
             start = rr[port]
-            for k in range(5):
-                ip = (start + k) % 5
+            for k in range(ports):
+                ip = (start + k) % ports
                 if used >> ip & 1:
                     continue
                 queue = bufs[ip].queue
@@ -771,6 +783,15 @@ class Simulator:
                 if nbr.state is not _ACTIVE or nbr.switch_stall:
                     break
                 nbuf = nbr.in_buffers[opp]
+                # Bubble flow control (torus/ring): a grant must leave the
+                # downstream buffer with at least ``mc_row[ip]`` free
+                # packet cells *before* this packet's cell is charged —
+                # 2 when entering a buffer ring, 1 when continuing along
+                # it.  A cells-blocked head does NOT block the output
+                # (``continue``, not ``break``): continuing traffic may
+                # still use the bubble that entering traffic must leave.
+                if mc_row is not None and cell_cap - nbuf.cells < mc_row[ip]:
+                    continue
                 length = packet.length
                 # Inlined InputBuffer.can_accept + reserve (the guard just
                 # performed is exactly reserve()'s over-reservation check).
@@ -793,6 +814,7 @@ class Simulator:
                         break
                     packet.retries = 0
                 nbuf.reserved += length
+                nbuf.cells += 1
                 bufs[ip].pop()
                 used |= 1 << ip
                 done = tick + length * period
@@ -814,7 +836,7 @@ class Simulator:
                 router.epoch_flits_out += length
                 if router.track_ports:
                     router.flits_out_port[port] += length
-                rr[port] = (ip + 1) % 5
+                rr[port] = (ip + 1) % ports
                 break
 
     def _inject(self, router: Router, tick: int, now_ns: float) -> None:
@@ -839,6 +861,7 @@ class Simulator:
             packet.tail_tick = tick + length * router.cur_period
         # Inlined reserve-then-commit on the buffer we just space-checked.
         buf.occupancy += length
+        buf.cells += 1
         buf.queue.append(packet)
         router.inject_pos = pos + 1
         self.entries_remaining -= 1

@@ -68,11 +68,11 @@ def _get(request: dict, key: str, default, kind, *, positive: bool = False):
 #: default.
 RUN_FIELDS = frozenset(
     {"policy", "benchmark", "duration_ns", "seed", "compressed", "cmesh",
-     "audit", "faults", "online"}
+     "topology", "audit", "faults", "online"}
 )
 CAMPAIGN_FIELDS = frozenset(
-    {"duration_ns", "seed", "compressed", "cmesh", "audit", "jobs",
-     "models", "faults", "online", "coordinate"}
+    {"duration_ns", "seed", "compressed", "cmesh", "topology", "audit",
+     "jobs", "models", "faults", "online", "coordinate"}
 )
 
 
@@ -80,6 +80,37 @@ def _reject_unknown(request: dict, allowed: frozenset) -> None:
     unknown = sorted(set(request) - allowed)
     if unknown:
         raise BadRequest(f"unknown field(s): {', '.join(unknown)}")
+
+
+def _sim_from(request: dict) -> SimConfig:
+    """Map ``topology``/``cmesh`` request fields onto a :class:`SimConfig`.
+
+    Mirrors ``dozznoc run``'s construction exactly so a served job and
+    its CLI twin share a cache entry.  Contradictory fields are refused
+    rather than silently resolved.
+    """
+    from repro.noc.fabrics import FABRIC_NAMES
+
+    cmesh = _get(request, "cmesh", False, bool)
+    topology = _get(request, "topology", "cmesh" if cmesh else "mesh", str)
+    if topology not in FABRIC_NAMES:
+        raise BadRequest(
+            f"unknown topology {topology!r}; "
+            f"choose from {sorted(FABRIC_NAMES)}"
+        )
+    if cmesh and topology != "cmesh":
+        raise BadRequest(
+            "fields 'cmesh' and 'topology' conflict; "
+            "drop 'cmesh' when naming a topology"
+        )
+    if topology == "cmesh":
+        return SimConfig.paper_cmesh()
+    if topology == "mesh":
+        return SimConfig.paper_mesh()
+    # Torus / ring at 64 cores (radix 8): bubble fabrics need two
+    # max-length packet cells per input buffer (see docs/fabrics.md).
+    return SimConfig(topology=topology, radix=8, concentration=1,
+                     buffer_depth=10)
 
 
 def _online_from(request: dict):
@@ -119,8 +150,7 @@ def build_run_task(request: dict) -> SimTask:
         )
     duration = _get(request, "duration_ns", 2_000.0, float, positive=True)
     seed = _get(request, "seed", 0, int)
-    cmesh = _get(request, "cmesh", False, bool)
-    sim = SimConfig.paper_cmesh() if cmesh else SimConfig.paper_mesh()
+    sim = _sim_from(request)
     trace = generate_benchmark_trace(
         benchmark, num_cores=sim.num_cores, duration_ns=duration, seed=seed
     )
@@ -161,9 +191,8 @@ def build_campaign_config(
             f"choose from {list(MODEL_NAMES)}"
         )
     seed = _get(request, "seed", 0, int)
-    cmesh = _get(request, "cmesh", False, bool)
     return CampaignConfig(
-        sim=SimConfig.paper_cmesh() if cmesh else SimConfig.paper_mesh(),
+        sim=_sim_from(request),
         duration_ns=_get(request, "duration_ns", 2_000.0, float,
                          positive=True),
         compressed=_get(request, "compressed", False, bool),
@@ -378,6 +407,7 @@ class JobQueue:
                 campaign, task_timeout=self.task_timeout
             )
         health = PoolHealth()
+        shards = None
         if request.get("coordinate", False):
             # Shard-coordinator mode: drive (or salvage) the campaign
             # through the lease journal in the shared cache dir.  With
@@ -396,6 +426,7 @@ class JobQueue:
             report = coordinated.report
             health.tasks += report.tasks_total
             health.cached += report.done_cached
+            shards = report.shards
             self.store.put_summary(job_id, "shard", report.as_dict())
         else:
             result = run_campaign(
@@ -416,7 +447,10 @@ class JobQueue:
             for per_model in result.metrics.values()
             for m in per_model.values()
         )
-        self.store.set_health(
-            "campaign", job_id,
-            {**health.as_dict(), "drift_alerts": drift},
-        )
+        payload = {**health.as_dict(), "drift_alerts": drift}
+        if shards is not None:
+            # Coordinate mode: per-worker (wid) claim/steal/done counts
+            # replayed from the lease journal, so /campaigns/{id}/status
+            # shows how the shard load actually split.
+            payload["shards"] = shards
+        self.store.set_health("campaign", job_id, payload)

@@ -1,7 +1,8 @@
 """Randomized differential fuzzing of the simulation kernel.
 
-Each *trial* draws a small random configuration (topology, buffer depths,
-packet lengths, epoch size, switching mode, optional horizon) and a random
+Each *trial* draws a small random configuration (a topology from every
+registered fabric — mesh, cmesh, torus, ring — plus buffer depths, packet
+lengths, epoch size, switching mode, optional horizon) and a random
 trace, then runs **all five policies** three ways:
 
 1. **serial** — a direct :class:`~repro.noc.simulator.Simulator` run with
@@ -46,6 +47,7 @@ from repro.exec.pool import SimTask, run_sim_tasks
 from repro.experiments.runner import MODEL_NAMES, ModelMetrics
 from repro.faults import FaultConfig
 from repro.models.online import OnlineConfig
+from repro.noc.fabrics import FABRIC_NAMES
 from repro.noc.simulator import Simulator
 from repro.traffic.trace import KIND_REQUEST, KIND_RESPONSE, Trace
 from repro.validate.invariants import InvariantAuditor, write_artifact
@@ -118,30 +120,47 @@ class FuzzReport:
 
 
 def build_trial(
-    master_seed: int, index: int, faults: bool = False, online: bool = False
+    master_seed: int,
+    index: int,
+    faults: bool = False,
+    online: bool = False,
+    fabrics: tuple[str, ...] | None = None,
 ) -> FuzzTrial:
     """Draw trial ``index``'s configuration and trace, deterministically.
 
-    ``faults`` additionally draws a random :class:`FaultConfig` applied
-    to every leg of the trial; ``online`` additionally draws a random
-    :class:`OnlineConfig` for the ML policies.  Each optional draw block
-    happens *after* all earlier draws (faults, then online), so disabling
-    a flag keeps trials bit-identical to the historical schedule for the
-    same ``(master_seed, index)``.
+    ``fabrics`` restricts the topology draw to a subset of the registered
+    fabric names (default: all of :data:`~repro.noc.fabrics.FABRIC_NAMES`).
+    The draw indexes into the *requested* pool, so a restricted session is
+    deterministic in its own right but follows a different schedule from
+    an unrestricted one.  ``faults`` additionally draws a random
+    :class:`FaultConfig` applied to every leg of the trial; ``online``
+    additionally draws a random :class:`OnlineConfig` for the ML
+    policies.  Each optional draw block happens *after* all earlier draws
+    (faults, then online), so disabling a flag keeps trials bit-identical
+    to the historical schedule for the same ``(master_seed, index)``.
     """
     rng = np.random.default_rng((master_seed, index))
-    if rng.random() < 0.25:
-        topology, radix, concentration = "cmesh", 2, 4
+    pool = FABRIC_NAMES if fabrics is None else tuple(fabrics)
+    topology = pool[int(rng.integers(0, len(pool)))]
+    if topology == "cmesh":
+        radix, concentration = 2, 4
+    elif topology == "ring":
+        # radix**2 interfaces on one unidirectional cycle; keep it short
+        # enough that every trial still drains inside the safety cap.
+        radix, concentration = int(rng.integers(2, 4)), 1
     else:
-        topology, radix, concentration = "mesh", int(rng.integers(2, 5)), 1
+        radix, concentration = int(rng.integers(2, 5)), 1
     request_flits = int(rng.integers(1, 3))
     response_flits = int(rng.integers(2, 6))
     longest = max(request_flits, response_flits)
+    # Bubble fabrics need two max-length packet cells per input buffer
+    # (resident packet + deadlock-avoidance bubble).
+    min_depth = 2 * longest if topology in ("torus", "ring") else longest
     config = SimConfig(
         topology=topology,
         radix=radix,
         concentration=concentration,
-        buffer_depth=longest + int(rng.integers(0, 5)),
+        buffer_depth=min_depth + int(rng.integers(0, 5)),
         request_flits=request_flits,
         response_flits=response_flits,
         epoch_cycles=int(rng.integers(20, 150)),
@@ -228,6 +247,7 @@ def run_fuzz(
     faults: bool = False,
     online: bool = False,
     backend_differential: bool = False,
+    fabrics: tuple[str, ...] | None = None,
 ) -> FuzzReport:
     """Run a fuzz session and return its report.
 
@@ -260,6 +280,9 @@ def run_fuzz(
         Re-run every clean serial task on the array kernel
         (``backend="array"``) and require identical ``ModelMetrics`` —
         the object-vs-array bit-identity leg.
+    fabrics:
+        Restrict each trial's topology draw to these registered fabric
+        names (default: all of them).
     """
     report = FuzzReport(master_seed=seed, trials_run=0, runs=0, epoch_audits=0)
     indices = [replay] if replay is not None else list(range(trials))
@@ -268,7 +291,8 @@ def run_fuzz(
     with tempfile.TemporaryDirectory(prefix="fuzz-runcache-") as tmp:
         cache = RunCache(Path(tmp))
         for index in indices:
-            trial = build_trial(seed, index, faults=faults, online=online)
+            trial = build_trial(seed, index, faults=faults, online=online,
+                                fabrics=fabrics)
             report.trials_run += 1
             ok_serial = _serial_leg(trial, report, artifact_dir)
             if ok_serial:

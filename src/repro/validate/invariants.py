@@ -36,7 +36,17 @@ principles at every epoch boundary and at end-of-run and raises
   ``[0, epoch_cycles)`` even through heartbeat batch-skip credits and
   expedite rollbacks,
 * **monotone fire ticks** — simulated time never runs backwards and no
-  router's next firing is scheduled in the past.
+  router's next firing is scheduled in the past,
+* **ring bubble** — on bubble fabrics (torus, ring: see
+  :mod:`repro.noc.fabrics`) every directed buffer ring retains at least
+  one free packet cell, the structural condition that makes wraparound
+  routing deadlock-free,
+* **cell conservation** — each input buffer's packet-cell counter equals
+  its resident packets plus the in-flight arrivals reserved into it,
+* **progress watchdog** — while packets are live, the global progress
+  vector (injections, deliveries, secure ledger, retransmissions, NI
+  backlog) may not freeze for longer than a generous tick window; a
+  frozen vector is a deadlock or a livelocked kernel, not congestion.
 
 Audits are read-only: an audited run is bit-identical to an unaudited
 one.  On failure the auditor (optionally) dumps a JSON *repro artifact* —
@@ -111,6 +121,12 @@ class InvariantAuditor:
         self.checks_passed = 0
         self._last_tick = -1
         self._artifacts = 0
+        # Progress-watchdog state: the last observed progress vector and
+        # the tick it last *changed* (window computed lazily from the
+        # run's epoch size at the first audit).
+        self._progress_vector: tuple | None = None
+        self._progress_tick = 0
+        self._progress_window: int | None = None
 
     # ------------------------------------------------------------------ #
     # Hooks called by the simulator
@@ -125,6 +141,9 @@ class InvariantAuditor:
         self._check_epoch_bounds(sim)
         self._check_secure_counts(sim, require_zero=False)
         self._check_fault_accounting(sim)
+        self._check_ring_bubble(sim)
+        self._check_cells(sim)
+        self._check_progress(sim)
 
     def on_end(self, sim: "Simulator", drained: bool) -> None:
         """Audit end-of-run state (after the residency flush)."""
@@ -138,6 +157,8 @@ class InvariantAuditor:
         self._check_residency(sim)
         if drained:
             self._check_drained(sim)
+        self._check_ring_bubble(sim)
+        self._check_cells(sim)
 
     # ------------------------------------------------------------------ #
     # Individual checks
@@ -373,6 +394,102 @@ class InvariantAuditor:
                 f"fallbacks for {stats.features_corrupted_predicting} "
                 f"corrupted feature vectors that reached a proactive "
                 f"decision ({stats.features_corrupted} corrupted in total)",
+            )
+        self.checks_passed += 1
+
+    def _check_ring_bubble(self, sim: "Simulator") -> None:
+        """Bubble flow control's structural deadlock-freedom condition.
+
+        On a bubble fabric every directed ring of input buffers must
+        retain at least one free packet cell at all times: entry into a
+        ring requires 2 free cells, continuing requires 1, so the sum of
+        occupied-or-reserved cells around any ring never reaches the
+        ring's cell capacity.  A full ring is exactly the circular-wait
+        state wraparound links make possible.
+        """
+        net = sim.network
+        if net.min_cells is None:
+            self.checks_passed += 1
+            return
+        routers = net.routers
+        cell_capacity = net.cell_capacity
+        for ring in net.fabric.rings():
+            held = 0
+            for rid, in_port in ring:
+                held += routers[rid].in_buffers[in_port].cells
+            limit = len(ring) * cell_capacity
+            if held >= limit:
+                self._fail(
+                    sim, "ring-bubble",
+                    f"bubble lost: ring through "
+                    f"{[rid for rid, _ in ring[:4]]}... holds {held} packet "
+                    f"cells of {limit} with no free cell remaining",
+                )
+        self.checks_passed += 1
+
+    def _check_cells(self, sim: "Simulator") -> None:
+        """Each buffer's packet-cell counter matches ground truth.
+
+        A cell is charged at reservation (or NI injection) and released
+        at pop, so at any audit point ``cells`` must equal the resident
+        packets plus the in-flight arrivals heading for that input port.
+        """
+        for r in sim.network.routers:
+            pending = [0] * len(r.in_buffers)
+            for _, _, in_port, _ in r.arrivals:
+                pending[in_port] += 1
+            for port, buf in enumerate(r.in_buffers):
+                expected = len(buf.queue) + pending[port]
+                if buf.cells != expected:
+                    self._fail(
+                        sim, "cell-conservation",
+                        f"router {r.rid} port {port}: cell counter "
+                        f"{buf.cells} != {len(buf.queue)} resident + "
+                        f"{pending[port]} in-flight packets",
+                    )
+        self.checks_passed += 1
+
+    def _check_progress(self, sim: "Simulator") -> None:
+        """Deadlock/livelock watchdog over the global progress vector.
+
+        The vector holds every counter that moves when the network does
+        useful (or fault-recovery) work; all of them are maintained
+        exactly by both kernels at every audit point, span skipping
+        included.  While packets are live the vector freezing for longer
+        than the window — 64 epochs of the *slowest* clock, far beyond
+        any congestive stall — means no packet can ever make progress
+        again: a routing deadlock or a scheduler livelock.
+        """
+        if self._progress_window is None:
+            from repro.noc.router import GATED_HEARTBEAT_TICKS
+
+            self._progress_window = (
+                64 * sim.epoch_cycles * GATED_HEARTBEAT_TICKS
+            )
+        stats = sim.stats
+        vector = (
+            stats.packets_injected,
+            stats.packets_delivered,
+            sim.secures_placed,
+            sim.secures_released,
+            stats.flits_retransmitted,
+            sim.entries_remaining,
+            sim.packets_live,
+        )
+        now = sim.now_tick
+        if vector != self._progress_vector:
+            self._progress_vector = vector
+            self._progress_tick = now
+        elif (
+            sim.packets_live > 0
+            and now - self._progress_tick > self._progress_window
+        ):
+            self._fail(
+                sim, "progress-watchdog",
+                f"no forward progress for {now - self._progress_tick} "
+                f"ticks (> window {self._progress_window}) with "
+                f"{sim.packets_live} live packets: progress vector "
+                f"{vector} is frozen",
             )
         self.checks_passed += 1
 

@@ -39,7 +39,7 @@ def regen(
     out_path: Path,
     cache_dir: str | None = None,
     jobs: int = 1,
-    backend: str = "object",
+    backend: str = "array",
     only: list[str] | None = None,
     unchecked: list[str] | None = None,
 ) -> Path:
@@ -71,7 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="reuse a run cache (fresh temp dir otherwise)")
     parser.add_argument("--backend", choices=["object", "array"],
-                        default="object")
+                        default="array")
     parser.add_argument("--only", nargs="+", default=None, metavar="EXP",
                         help="limit the regenerated experiments")
     parser.add_argument("--unchecked", nargs="+", default=None,

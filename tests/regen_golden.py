@@ -43,6 +43,18 @@ _MESH4 = {
     "epoch_cycles": 100,
 }
 
+#: The bubble fabrics (see docs/fabrics.md): wraparound torus and the
+#: routerless unidirectional ring.  Both need ``buffer_depth`` of two
+#: max-length packets for cell-based bubble flow control.
+_TORUS4 = {
+    "topology": "torus", "radix": 4, "concentration": 1,
+    "epoch_cycles": 100, "buffer_depth": 10,
+}
+_RING3 = {
+    "topology": "ring", "radix": 3, "concentration": 1,
+    "epoch_cycles": 100, "buffer_depth": 10,
+}
+
 
 def golden_cases() -> list[dict]:
     """The frozen config x trace x policy matrix (one dict per case)."""
@@ -52,11 +64,11 @@ def golden_cases() -> list[dict]:
         name: str, policy: str, benchmark: str,
         switching: str = "vct", weights: tuple | None = None,
         duration_ns: float = 600.0, seed: int = 0,
-        online: dict | None = None,
+        online: dict | None = None, substrate: dict = _MESH4,
     ) -> None:
         entry = {
             "id": name,
-            "config": dict(_MESH4, switching=switching),
+            "config": dict(substrate, switching=switching),
             "benchmark": benchmark,
             "duration_ns": duration_ns,
             "seed": seed,
@@ -72,6 +84,14 @@ def golden_cases() -> list[dict]:
     # Every policy, reactive, on one trace (the mode-ladder spread).
     for policy in ("baseline", "pg", "lead", "dozznoc", "turbo"):
         case(f"mesh4-vct-blackscholes-{policy}", policy, "blackscholes")
+    # The new fabrics, every policy: wraparound torus (bubble DOR) and
+    # the routerless ring.  Frozen on both kernels — the equivalence
+    # suite re-runs each committed fingerprint on the object backend.
+    for policy in ("baseline", "pg", "lead", "dozznoc", "turbo"):
+        case(f"torus4-vct-blackscholes-{policy}", policy, "blackscholes",
+             substrate=_TORUS4)
+        case(f"ring3-vct-blackscholes-{policy}", policy, "blackscholes",
+             substrate=_RING3)
     # A second traffic pattern, wormhole switching, and the proactive path.
     case("mesh4-vct-canneal-dozznoc", "dozznoc", "canneal")
     case("mesh4-wormhole-canneal-dozznoc", "dozznoc", "canneal",

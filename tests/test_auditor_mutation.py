@@ -103,6 +103,10 @@ MUTATIONS = [
      lambda sim: sim.network.routers[0].arrivals.append(
          (sim.now_tick + 100, 0, 0, None)),
      "drain-state"),
+    ("cell-counter-drift",
+     lambda sim: setattr(sim.network.routers[0].in_buffers[0], "cells",
+                         sim.network.routers[0].in_buffers[0].cells + 1),
+     "cell-conservation"),
 ]
 
 
@@ -160,6 +164,88 @@ def test_corrupted_predicting_cannot_exceed_corrupted():
     with pytest.raises(AuditError) as excinfo:
         auditor.on_end(sim, drained=True)
     assert excinfo.value.check == "fault-accounting"
+
+
+def _finished_ring_sim():
+    """A drained unidirectional-ring simulator (bubble fabric)."""
+    config = SimConfig(topology="ring", radix=3, concentration=1,
+                       buffer_depth=10, epoch_cycles=100)
+    trace = generate_benchmark_trace(
+        "blackscholes", num_cores=9, duration_ns=400.0, seed=0
+    )
+    sim = Simulator(config, trace, make_policy("pg"))
+    result = sim.run()
+    assert result.drained
+    return sim
+
+
+def test_lost_bubble_trips_ring_law():
+    """Filling every cell of the fabric's buffer ring — the circular-wait
+    state bubble flow control exists to exclude — must trip ring-bubble
+    (which outranks the per-buffer cell-conservation law it also breaks)."""
+    sim = _finished_ring_sim()
+    auditor = InvariantAuditor()
+    auditor.on_end(sim, drained=True)  # clean state passes first
+    cap = sim.network.cell_capacity
+    assert cap >= 2  # config validation guarantees the bubble fits
+    for router in sim.network.routers:
+        router.in_buffers[1].cells = cap  # the RING input buffer
+    with pytest.raises(AuditError) as excinfo:
+        auditor.on_end(sim, drained=True)
+    assert excinfo.value.check == "ring-bubble"
+    assert excinfo.value.artifact["check"] == "ring-bubble"
+
+
+def test_ring_law_boundary_is_exact():
+    """One free cell anywhere on the ring satisfies the bubble law; the
+    corrupted counters then fall through to cell-conservation instead."""
+    sim = _finished_ring_sim()
+    auditor = InvariantAuditor()
+    auditor.on_end(sim, drained=True)
+    cap = sim.network.cell_capacity
+    routers = sim.network.routers
+    for router in routers:
+        router.in_buffers[1].cells = cap
+    routers[0].in_buffers[1].cells = cap - 1  # the bubble survives
+    with pytest.raises(AuditError) as excinfo:
+        auditor.on_end(sim, drained=True)
+    assert excinfo.value.check == "cell-conservation"
+
+
+def test_frozen_progress_trips_watchdog():
+    """A live packet whose progress vector never moves past the watchdog
+    window is a deadlock, not congestion.  The corruption keeps packet
+    conservation balanced so only the watchdog can catch it."""
+    sim = _finished_sim()
+    auditor = InvariantAuditor()
+    auditor.on_epoch(sim)  # anchors the progress vector
+    sim.stats.packets_delivered -= 1
+    sim.packets_live = 1
+    auditor.on_epoch(sim)  # vector changed: re-anchors, still passes
+    window = auditor._progress_window
+    assert window is not None and window > 0
+    sim.now_tick += window + 1
+    for r in sim.network.routers:
+        r.next_event_tick = sim.now_tick
+    with pytest.raises(AuditError) as excinfo:
+        auditor.on_epoch(sim)
+    err = excinfo.value
+    assert err.check == "progress-watchdog"
+    assert err.artifact["check"] == "progress-watchdog"
+
+
+def test_watchdog_tolerates_frozen_drained_state():
+    """With no live packets a frozen vector is legal (drained network
+    idling toward the horizon must never be flagged)."""
+    sim = _finished_sim()
+    auditor = InvariantAuditor()
+    auditor.on_epoch(sim)
+    window = auditor._progress_window
+    sim.now_tick += window + 1
+    for r in sim.network.routers:
+        r.next_event_tick = sim.now_tick
+    auditor.on_epoch(sim)  # must not raise
+    assert auditor.epoch_audits == 2
 
 
 def test_epoch_hook_also_fires(small_config):

@@ -6,7 +6,9 @@ and its contract is **exact** equality with the object kernel, not
 approximate agreement (see ``docs/backends.md``).  Three layers enforce
 it here:
 
-1. every committed golden fingerprint, re-run with ``backend="array"``,
+1. every committed golden fingerprint, re-run with ``backend="object"``
+   (the golden suite itself runs the default ``array`` kernel, so the
+   two layers together pin both kernels to the same committed bytes),
 2. the fuzzer's deterministic trial generator (a fixed slice of the same
    schedule the ``--differential-backend`` CLI leg samples), including
    fault-injection and online-learning legs,
@@ -42,7 +44,7 @@ from regen_golden import compute_fingerprint, golden_cases, golden_path  # noqa:
 
 
 # --------------------------------------------------------------------- #
-# Layer 1: the committed golden matrix, re-run on the array kernel
+# Layer 1: the committed golden matrix, re-run on the object kernel
 # --------------------------------------------------------------------- #
 
 _CASES = golden_cases()
@@ -51,15 +53,17 @@ _CASES = golden_cases()
 @pytest.mark.parametrize(
     "case", _CASES, ids=[c["id"] for c in _CASES]
 )
-def test_array_backend_matches_committed_golden(case):
-    """Array-kernel fingerprints equal the committed object-kernel ones.
+def test_object_backend_matches_committed_golden(case):
+    """Object-kernel fingerprints equal the committed (array) ones.
 
+    The golden suite recomputes every case on the default ``array``
+    kernel; this mirror recomputes it on the reference ``object`` kernel.
     Every simulation-observable part of the fingerprint must match the
     JSON on disk exactly; only the echoed config (which records the
     backend) may differ.
     """
     committed = json.loads(golden_path(case["id"]).read_text())
-    arr_case = dict(case, config=dict(case["config"], backend="array"))
+    arr_case = dict(case, config=dict(case["config"], backend="object"))
     got = compute_fingerprint(arr_case)
     assert got["drained"] == committed["drained"]
     assert got["summary"] == committed["summary"]

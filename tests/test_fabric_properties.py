@@ -1,0 +1,180 @@
+"""Fabric algebra: hypothesis properties every registered fabric obeys.
+
+The fabric protocol (:mod:`repro.noc.fabrics`) promises a handful of
+algebraic laws the kernels and the look-ahead power-gating scheme lean
+on.  This suite states them once and quantifies over *every* fabric in
+the registry — a new fabric gets the whole contract checked the moment
+it registers:
+
+* **wiring duality** — on bidirectional fabrics, ``opposite`` names the
+  true reverse link (following a port and its opposite returns home);
+  on unidirectional fabrics each input buffer has exactly one feeder,
+* **reachability** — iterating ``route_port``/``neighbor`` from any
+  source reaches any destination and ejects there,
+* **route progress** — every hop strictly decreases ``hop_distance``
+  to the destination (minimality + livelock-freedom in one law),
+* **look-ahead consistency** — ``next_router`` equals the neighbor
+  through the routed port (the secure-hold refcount of Section III.B
+  is only sound if the look-ahead names the router the packet will
+  actually cross),
+* **bubble-table sanity** — ``min_cells``/``min_cell_capacity``/
+  ``rings()`` are mutually consistent, and every declared ring is a
+  closed directed cycle of input buffers under the feed relation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.fabrics import FABRIC_NAMES, make_fabric
+from repro.noc.topology import LOCAL
+
+
+def _fabrics():
+    """One strategy for (fabric, draw-friendly metadata)."""
+    def build(name, radix, concentration):
+        if name != "cmesh":
+            concentration = 1
+        return make_fabric(name, radix, concentration)
+
+    return st.builds(
+        build,
+        name=st.sampled_from(FABRIC_NAMES),
+        radix=st.integers(min_value=2, max_value=5),
+        # Concentration must tile the router grid (perfect square).
+        concentration=st.sampled_from([1, 4]),
+    )
+
+
+def _pair(fabric, a_frac, b_frac):
+    """Map two unit fractions onto a (src, dst) router pair."""
+    n = fabric.num_routers
+    return min(int(a_frac * n), n - 1), min(int(b_frac * n), n - 1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(fabric=_fabrics())
+def test_wiring_duality(fabric):
+    """opposite[] is a reverse link (bidirectional) or the unique feed.
+
+    Bidirectional: leaving router ``r`` through output ``p`` and then
+    leaving the neighbor through output ``opposite[p]`` must return to
+    ``r`` — the physical link is one wire with two directions.
+    Unidirectional: every (router, input-port) buffer is fed by exactly
+    one upstream output — the Network feeder tables require it.
+    """
+    feeders: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for rid in range(fabric.num_routers):
+        for port, nbr in fabric.neighbors(rid):
+            assert port != LOCAL
+            assert fabric.neighbor(rid, port) == nbr
+            pin = fabric.opposite[port]
+            feeders.setdefault((nbr, pin), []).append((rid, port))
+            if fabric.bidirectional:
+                assert fabric.neighbor(nbr, pin) == rid, (
+                    f"port {port} of router {rid} is not a reverse link"
+                )
+    # Exactly one feeder per fed input buffer, on every fabric: the
+    # receiving buffer identity is unambiguous.
+    for (nbr, pin), srcs in feeders.items():
+        assert len(srcs) == 1, (
+            f"input ({nbr}, {pin}) fed by multiple outputs: {srcs}"
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    fabric=_fabrics(),
+    a=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    b=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+)
+def test_reachability_and_route_progress(fabric, a, b):
+    """Following the route reaches dst; hop_distance falls every hop."""
+    src, dst = _pair(fabric, a, b)
+    rid = src
+    remaining = fabric.hop_distance(src, dst)
+    for _ in range(fabric.num_routers + 1):
+        port = fabric.route_port(rid, dst)
+        if rid == dst:
+            assert port == LOCAL, "route must eject at the destination"
+            assert remaining == 0
+            return
+        assert port != LOCAL, "route may only eject at the destination"
+        rid = fabric.neighbor(rid, port)
+        now = fabric.hop_distance(rid, dst)
+        assert now == remaining - 1, (
+            f"hop {src}->{dst} via {rid}: distance {remaining} -> {now}, "
+            "not strictly minimal"
+        )
+        remaining = now
+    raise AssertionError(f"route {src}->{dst} did not terminate")
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    fabric=_fabrics(),
+    a=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    b=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+)
+def test_lookahead_consistency(fabric, a, b):
+    """next_router == neighbor(rid, route_port) — None iff ejecting."""
+    rid, dst = _pair(fabric, a, b)
+    port = fabric.route_port(rid, dst)
+    nxt = fabric.next_router(rid, dst)
+    if rid == dst:
+        assert port == LOCAL and nxt is None
+    else:
+        assert nxt == fabric.neighbor(rid, port)
+        assert nxt is not None and nxt != rid
+
+
+@settings(max_examples=80, deadline=None)
+@given(fabric=_fabrics())
+def test_bubble_contract_consistency(fabric):
+    """min_cells, min_cell_capacity and rings() agree with each other."""
+    if fabric.min_cells is None:
+        # Turn-restricted fabrics: no bubble table, no audited rings,
+        # and a single cell per buffer suffices.
+        assert fabric.min_cell_capacity == 1
+        assert fabric.rings() == ()
+        return
+    table = fabric.min_cells
+    assert len(table) == fabric.num_ports
+    assert all(len(row) == fabric.num_ports for row in table)
+    # Ejection never demands a bubble; some transport hop must demand
+    # the full 2-cell entry bubble (that is what min_cell_capacity=2
+    # buys), and no requirement may exceed the guaranteed capacity.
+    assert all(c == 0 for c in table[LOCAL])
+    flat = [c for row in table[1:] for c in row]
+    assert max(flat) == 2 == fabric.min_cell_capacity
+    assert min(flat) >= 1, "transport hops must keep the buffer counted"
+    assert fabric.rings(), "a bubble table implies audited buffer rings"
+
+
+@settings(max_examples=80, deadline=None)
+@given(fabric=_fabrics())
+def test_declared_rings_are_closed_buffer_cycles(fabric):
+    """Every audited ring is a directed cycle under the feed relation.
+
+    Consecutive ring entries ``(r, pin) -> (r2, pin2)`` must be joined
+    by a real hop: some output port ``p`` of ``r`` with
+    ``neighbor(r, p) == r2`` and ``opposite[p] == pin2``, and a packet
+    parked in ``(r, pin)`` must be allowed to continue along the ring
+    for only 1 cell (the within-ring continue of Bubble Flow Control).
+    """
+    for ring in fabric.rings():
+        assert len(ring) >= 2
+        assert len(set(ring)) == len(ring), "ring repeats a buffer"
+        for (r, pin), (r2, pin2) in zip(ring, ring[1:] + ring[:1]):
+            hops = [
+                p for p, nbr in fabric.neighbors(r)
+                if nbr == r2 and fabric.opposite[p] == pin2
+            ]
+            assert len(hops) == 1, (
+                f"ring edge ({r},{pin}) -> ({r2},{pin2}) is not a "
+                "unique physical hop"
+            )
+            assert fabric.min_cells[hops[0]][pin] == 1, (
+                "within-ring continues must need exactly one free cell"
+            )

@@ -14,6 +14,7 @@ import pytest
 
 from repro.models.online import batch_predict
 from repro.models.registry import ModelRegistry
+from repro.common.config import SimConfig
 from repro.serve import ServeApp, ServeConfig, TestClient
 
 RUN_REQ = {"policy": "dozznoc", "benchmark": "blackscholes",
@@ -137,12 +138,44 @@ class TestRunJobs:
             ({"seed": 1.5}, "must be int"),
             ({"audit": "yes"}, "must be a boolean"),
             ({"typo_field": 1}, "unknown field"),
+            ({"topology": "hypercube"}, "unknown topology"),
+            ({"cmesh": True, "topology": "torus"}, "conflict"),
         ],
     )
     def test_invalid_requests_are_synchronous_400s(self, client, bad, match):
         status, payload = client.post("/runs", {**RUN_REQ, **bad})
         assert status == 400
         assert match in payload["error"]
+
+    def test_torus_run_round_trip(self, app, client):
+        req = {**RUN_REQ, "topology": "torus", "audit": True,
+               "duration_ns": 300.0}
+        status, payload = client.post("/runs", req)
+        assert status == 202
+        app.queue.wait_idle()
+
+        _, st = client.get(f"/runs/{payload['id']}/status")
+        assert st["status"] == "done"
+        _, result = client.get(f"/runs/{payload['id']}/result")
+        assert result["metrics"]["drained"] is True
+        assert result["metrics"]["packets_delivered"] > 0
+
+    def test_topology_field_mirrors_the_cli_config(self):
+        from repro.serve.queue import build_run_task
+
+        for name, expect in [
+            ("mesh", SimConfig.paper_mesh()),
+            ("cmesh", SimConfig.paper_cmesh()),
+            ("torus", SimConfig(topology="torus", radix=8, concentration=1,
+                                buffer_depth=10)),
+            ("ring", SimConfig(topology="ring", radix=8, concentration=1,
+                               buffer_depth=10)),
+        ]:
+            task = build_run_task({**RUN_REQ, "topology": name})
+            assert task.sim == expect
+        # cmesh alone stays the shorthand it always was.
+        assert build_run_task({**RUN_REQ, "cmesh": True}).sim == \
+            SimConfig.paper_cmesh()
 
     def test_rejected_request_creates_no_job(self, app, client):
         client.post("/runs", {"policy": "nope"})
@@ -310,6 +343,18 @@ class TestCoordinatedCampaign:
         assert "shard" not in plain_result
         _, st = client.get(f"/campaigns/{coordinated['id']}/status")
         assert st["health"]["tasks"] == shard["tasks_total"]
+        # Coordinate mode folds the per-worker (wid) lease/done split
+        # into the status health doc; a plain campaign has no shards.
+        shards = st["health"]["shards"]
+        assert shards == shard["shards"]
+        done_total = sum(sh["done"] for sh in shards.values())
+        resumed_or_done = done_total + shard["resumed"]
+        assert resumed_or_done >= shard["tasks_total"] or \
+            shard["salvage"] is not None
+        for sh in shards.values():
+            assert set(sh) == {"worker", "claims", "steals", "done"}
+        _, plain_st = client.get(f"/campaigns/{plain['id']}/status")
+        assert "shards" not in plain_st["health"]
 
 
 class TestGracefulShutdownAndResume:

@@ -75,6 +75,46 @@ class TestCoordinatorByteIdentity:
             == campaign_summary_text(serial)
         )
 
+    def test_two_worker_campaign_reports_per_shard_progress(self, tmp_path):
+        # Two concurrent workers share one journal; the replayed per-wid
+        # ledger must account for every task exactly once, and the
+        # coordinator's report (what `dozznoc serve` folds into the
+        # status health doc) carries the same numbers.
+        import threading
+
+        campaign = _campaign(tmp_path / "cache")
+        reports = {}
+
+        def _work(name):
+            reports[name] = run_campaign_worker(campaign, name)
+
+        threads = [
+            threading.Thread(target=_work, args=(name,))
+            for name in ("w0", "w1")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        committed = sum(r.committed for r in reports.values())
+        assert committed == reports["w0"].tasks_total
+
+        coordinated = coordinate_campaign(campaign, salvage_after_s=0.0)
+        report = coordinated.report
+        shards = report.shards
+        assert shards, "two live workers left no shard trace"
+        # Every task's done record is attributed to exactly one wid, and
+        # each wid maps back to one of the two worker names.
+        assert sum(sh["done"] for sh in shards.values()) == report.tasks_total
+        for wid, sh in shards.items():
+            assert sh["worker"] in ("w0", "w1")
+            assert wid.startswith(f"{sh['worker']}:")
+            assert sh["done"] <= sh["claims"] + sh["steals"]
+            assert sh["done"] == reports[sh["worker"]].committed
+        # The wire shape the serve layer exposes round-trips through
+        # as_dict (plain dict/int/str — JSON-safe).
+        assert report.as_dict()["shards"] == shards
+
     def test_summary_out_writes_the_exact_summary_bytes(self, tmp_path):
         out = tmp_path / "campaign-summary.json"
         coordinated = coordinate_campaign(

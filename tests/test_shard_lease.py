@@ -180,6 +180,77 @@ class TestLedgerReplay:
         assert ledger.malformed == 3
 
 
+class TestShardProgress:
+    """Per-wid claim/steal/done attribution replayed from the journal.
+
+    Done records carry no wid, so the ledger attributes each one to the
+    key's replayed holder at the moment the done record lands — every
+    reader of the same journal derives identical per-worker numbers
+    (this is what ``/campaigns/{id}/status`` folds into ``health``).
+    """
+
+    def test_done_is_attributed_to_the_replayed_holder(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k1", "a:1:x", seq=1, worker="alice"))
+        _append(path, {"key": "k1", "cached": False})
+        _append(path, _lease("claim", "k2", "b:2:y", seq=1, worker="bob"))
+        _append(path, {"key": "k2", "cached": True})
+        progress = _ledger(path).shard_progress()
+        assert progress == {
+            "a:1:x": {"worker": "alice", "claims": 1, "steals": 0, "done": 1},
+            "b:2:y": {"worker": "bob", "claims": 1, "steals": 0, "done": 1},
+        }
+
+    def test_stolen_task_credits_the_thief_not_the_victim(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1, deadline=10.0,
+                             worker="victim"))
+        _append(path, _lease("steal", "k", "b:2:y", seq=1, t=11.0,
+                             deadline=17.0, worker="thief"))
+        _append(path, {"key": "k", "cached": False})
+        progress = _ledger(path).shard_progress()
+        assert progress["a:1:x"] == {
+            "worker": "victim", "claims": 1, "steals": 0, "done": 0,
+        }
+        assert progress["b:2:y"] == {
+            "worker": "thief", "claims": 0, "steals": 1, "done": 1,
+        }
+
+    def test_losing_ops_and_duplicate_dones_do_not_count(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k", "a:1:x", seq=1, deadline=10.0))
+        # A losing claim and a premature steal leave no trace for b.
+        _append(path, _lease("claim", "k", "b:2:y", seq=1))
+        _append(path, _lease("steal", "k", "b:2:y", seq=2, t=10.2,
+                             deadline=16.0))
+        _append(path, {"key": "k", "cached": False})
+        # A replayed duplicate done must not double-credit anyone.
+        _append(path, {"key": "k", "cached": False})
+        progress = _ledger(path).shard_progress()
+        assert "b:2:y" not in progress
+        assert progress["a:1:x"]["claims"] == 1
+        assert progress["a:1:x"]["done"] == 1
+
+    def test_orphan_done_has_no_shard_to_credit(self, tmp_path):
+        # A done with no prior lease (e.g. pre-lease journals, or the
+        # holder's claim line was torn away) completes the key without
+        # inventing a worker.
+        path = tmp_path / "journal.jsonl"
+        _append(path, {"key": "k", "cached": False})
+        ledger = _ledger(path)
+        assert ledger.state("k").done
+        assert ledger.shard_progress() == {}
+
+    def test_progress_is_stable_across_replayers(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        _append(path, _lease("claim", "k1", "b:2:y", seq=1))
+        _append(path, _lease("claim", "k2", "a:1:x", seq=1))
+        _append(path, {"key": "k2", "cached": False})
+        first, second = _ledger(path), _ledger(path)
+        assert first.shard_progress() == second.shard_progress()
+        assert list(first.shard_progress()) == ["a:1:x", "b:2:y"]
+
+
 def _metrics(tag: float):
     from repro.experiments.runner import ModelMetrics
 
